@@ -1,0 +1,1 @@
+"""Paper-reproduction benchmarks (one module per table/figure)."""

@@ -1,0 +1,55 @@
+"""Figure 1: similarity heatmap between a long passage and multiple queries.
+
+The paper splits one long passage into 89 chunks, scores it against 10
+queries and observes that only a small fraction of chunks is relevant to any
+query.  This benchmark regenerates the heatmap (as a per-query relevant-chunk
+fraction series) on a synthetic long passage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.datasets.longbench import build_dataset, build_vocabulary
+from repro.evaluation.report import ResultTable
+from repro.retrieval.chunking import chunk_words
+from repro.retrieval.dense import ContrieverEncoder
+from repro.retrieval.similarity import relevant_chunk_fraction, similarity_heatmap
+
+N_QUERIES = 10
+CHUNK_SIZE = 32
+
+
+def _build_heatmap() -> tuple[np.ndarray, int]:
+    vocab = build_vocabulary()
+    encoder = ContrieverEncoder(vocab.lexicon)
+    samples = build_dataset("multinews", N_QUERIES, vocab=vocab, seed=1)
+    # One long passage (the first sample's context), ten different queries.
+    chunks, _ = chunk_words(list(samples[0].context_words), CHUNK_SIZE)
+    chunk_texts = [chunk.text for chunk in chunks]
+    queries = [sample.query_text for sample in samples]
+    heatmap = similarity_heatmap(encoder, queries, chunk_texts)
+    return heatmap, len(chunk_texts)
+
+
+def test_fig1_similarity_heatmap(benchmark, results_dir):
+    heatmap, n_chunks = benchmark.pedantic(_build_heatmap, rounds=1, iterations=1)
+    fractions = relevant_chunk_fraction(heatmap, relative_threshold=0.5)
+
+    table = ResultTable(
+        title=f"Figure 1: fraction of relevant chunks per query ({n_chunks} chunks)",
+        row_names=[f"query {i}" for i in range(heatmap.shape[0])],
+        column_names=["max similarity", "min similarity", "relevant fraction"],
+    )
+    for i in range(heatmap.shape[0]):
+        table.set(f"query {i}", "max similarity", float(heatmap[i].max()))
+        table.set(f"query {i}", "min similarity", float(heatmap[i].min()))
+        table.set(f"query {i}", "relevant fraction", float(fractions[i]))
+    save_table(results_dir, "fig1_similarity_heatmap", table)
+    print("\n" + table.to_text(precision=3))
+
+    # Paper observation: most chunks are irrelevant to any given query.
+    assert float(fractions.mean()) < 0.35
+    assert heatmap.shape == (N_QUERIES, n_chunks)

@@ -1,0 +1,31 @@
+"""Figure 4: GPU memory of the five methods on the four models (QMSum setting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.evaluation.efficiency import memory_table
+from repro.evaluation.setup import DEFAULT_METHODS
+from repro.model.config import SIM_MODEL_NAMES, get_model_spec
+
+
+def _run_fig4():
+    return memory_table(SIM_MODEL_NAMES, DEFAULT_METHODS)
+
+
+def test_fig4_gpu_memory(benchmark, results_dir):
+    table = benchmark.pedantic(_run_fig4, rounds=1, iterations=1)
+    save_table(results_dir, "fig4_gpu_memory", table)
+    print("\n" + table.to_text(precision=2))
+
+    for model_name in SIM_MODEL_NAMES:
+        column = get_model_spec(model_name).display_name
+        fp16 = table.get("FP16", column)
+        cocktail = table.get("Cocktail", column)
+        # Cocktail uses the least memory of all methods on every model.
+        for row in table.row_names:
+            assert cocktail <= table.get(row, column) + 1e-9
+        # Paper: 12%-42% reduction against the FP16 baseline.
+        reduction = (fp16 - cocktail) / fp16
+        assert 0.05 < reduction < 0.6

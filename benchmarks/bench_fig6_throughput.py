@@ -1,0 +1,48 @@
+"""Figure 6: throughput versus batch size, including OOM cut-offs.
+
+The paper's observations: Cocktail starts below the uniform-quantization
+methods at small batch sizes (the chunk-level search limits throughput),
+overtakes them as the batch grows, always exceeds KVQuant, and every
+quantized method sustains larger batches than FP16 before running out of
+memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.evaluation.efficiency import throughput_table
+from repro.evaluation.setup import DEFAULT_METHODS
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 200, 300, 400)
+
+
+def _run_fig6():
+    return throughput_table("llama2-7b", DEFAULT_METHODS, BATCH_SIZES)
+
+
+def test_fig6_throughput(benchmark, results_dir):
+    table = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+    save_table(results_dir, "fig6_throughput", table)
+    print("\n" + table.to_text(precision=1))
+
+    # Small-batch regime: the search latency puts Cocktail below Atom/KIVI.
+    assert table.get("Cocktail", "1") < table.get("Atom", "1")
+    # Large-batch regime (before OOM): Cocktail overtakes the uniform methods.
+    crossover_batches = [b for b in ("64", "128", "200") if table.get("Cocktail", b) is not None]
+    assert any(
+        table.get("Cocktail", b) > table.get("Atom", b)
+        for b in crossover_batches
+        if table.get("Atom", b) is not None
+    )
+    # Cocktail is always above KVQuant wherever both fit in memory.
+    for batch in BATCH_SIZES:
+        cocktail = table.get("Cocktail", str(batch))
+        kvquant = table.get("KVQuant", str(batch))
+        if cocktail is not None and kvquant is not None:
+            assert cocktail > kvquant
+    # FP16 runs out of memory before the quantized methods.
+    fp16_oom = sum(1 for b in BATCH_SIZES if table.get("FP16", str(b)) is None)
+    cocktail_oom = sum(1 for b in BATCH_SIZES if table.get("Cocktail", str(b)) is None)
+    assert fp16_oom > cocktail_oom

@@ -1,0 +1,39 @@
+"""Figure 7: impact of the alpha and beta threshold hyper-parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_n_samples, save_table
+from repro.evaluation.ablation import alpha_beta_sweep
+
+ALPHAS = (0.2, 0.6, 0.9)
+BETAS = (0.05, 0.2, 0.5)
+N_SAMPLES = bench_n_samples(2)
+
+
+def _run_fig7():
+    return alpha_beta_sweep(
+        ALPHAS,
+        BETAS,
+        model_name="llama2-7b",
+        dataset="qmsum",
+        n_samples=N_SAMPLES,
+        max_new_tokens=64,
+    )
+
+
+def test_fig7_alpha_beta(benchmark, results_dir):
+    table = benchmark.pedantic(_run_fig7, rounds=1, iterations=1)
+    save_table(results_dir, "fig7_alpha_beta", table)
+    print("\n" + table.to_text(precision=2))
+
+    # Paper shape: accuracy worsens as alpha grows (more chunks pushed to
+    # INT2) and improves (then saturates) as beta grows (more chunks at FP16).
+    smallest_alpha = [table.get(f"alpha={ALPHAS[0]}", f"beta={b}") for b in BETAS]
+    largest_alpha = [table.get(f"alpha={ALPHAS[-1]}", f"beta={b}") for b in BETAS]
+    assert sum(smallest_alpha) >= sum(largest_alpha)
+
+    smallest_beta = [table.get(f"alpha={a}", f"beta={BETAS[0]}") for a in ALPHAS]
+    largest_beta = [table.get(f"alpha={a}", f"beta={BETAS[-1]}") for a in ALPHAS]
+    assert sum(largest_beta) >= sum(smallest_beta)

@@ -1,0 +1,52 @@
+"""Table II: accuracy of FP16 / Atom / KIVI / KVQuant / Cocktail.
+
+Regenerates the method-by-dataset accuracy comparison on the simulated
+models.  By default two models and a few samples per dataset are evaluated to
+keep the benchmark tractable on CPU; set ``REPRO_BENCH_MODELS`` and
+``REPRO_BENCH_SAMPLES`` to widen the sweep (e.g. all four models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_model_names, bench_n_samples, save_table
+from repro.evaluation.accuracy import AccuracyRunner
+from repro.evaluation.setup import DEFAULT_METHODS
+
+MODELS = bench_model_names()
+N_SAMPLES = bench_n_samples(2)
+
+
+def _run_table2():
+    runner = AccuracyRunner(
+        model_names=MODELS,
+        methods=DEFAULT_METHODS,
+        n_samples=N_SAMPLES,
+        max_new_tokens=64,
+        chunk_size=32,
+        seed=0,
+    )
+    return runner.run()
+
+
+def test_table2_accuracy(benchmark, results_dir):
+    result = benchmark.pedantic(_run_table2, rounds=1, iterations=1)
+
+    for model_name in MODELS:
+        table = result.table_for_model(model_name)
+        save_table(results_dir, f"table2_accuracy_{model_name}", table)
+        print("\n" + table.to_text(precision=2))
+
+    # Paper shape: Cocktail achieves the best average among quantized methods
+    # and stays close to FP16; uniform INT4 methods lose more accuracy.
+    for model_name in MODELS:
+        averages = {
+            method: result.average_score(model_name, method) for method in DEFAULT_METHODS
+        }
+        assert averages["fp16"] >= averages["atom"] - 1e-6
+        assert averages["cocktail"] >= averages["atom"]
+        assert averages["cocktail"] >= averages["kivi"]
+        assert averages["cocktail"] >= averages["kvquant"] - 3.0
+        assert averages["fp16"] - averages["cocktail"] <= 8.0

@@ -1,0 +1,41 @@
+"""Table IV: chunk/query encoder comparison on Llama2-7B over four datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_n_samples, save_table
+from repro.evaluation.ablation import encoder_comparison
+
+N_SAMPLES = bench_n_samples(2)
+DATASETS = ("qasper", "samsum", "triviaqa", "repobench-p")
+
+
+def _run_table4():
+    return encoder_comparison(
+        datasets=DATASETS,
+        model_name="llama2-7b",
+        n_samples=N_SAMPLES,
+        max_new_tokens=48,
+    )
+
+
+def test_table4_encoder_comparison(benchmark, results_dir):
+    table = benchmark.pedantic(_run_table4, rounds=1, iterations=1)
+    save_table(results_dir, "table4_encoders", table)
+    print("\n" + table.to_text(precision=2))
+
+    def row_mean(row):
+        return table.row_average(row)
+
+    contriever = row_mean("Facebook-Contriever")
+    llm_embedder = row_mean("LLM Embedder")
+    ada = row_mean("ADA-002")
+    bm25 = row_mean("BM25")
+    # Paper shape: Contriever is the best encoder and BM25 the worst; the
+    # dense encoders all beat the purely lexical scorer.
+    assert contriever >= llm_embedder - 2.0
+    assert contriever >= ada - 2.0
+    assert contriever > bm25
+    assert llm_embedder > bm25
+    assert ada > bm25

@@ -1,0 +1,47 @@
+"""Table V: module ablation (chunk-level search and chunk-level computation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_n_samples, save_table
+from repro.evaluation.ablation import module_ablation
+
+N_SAMPLES = bench_n_samples(3)
+
+
+def _run_table5():
+    return module_ablation(
+        model_name="llama2-7b",
+        dataset="qmsum",
+        n_samples=N_SAMPLES,
+        max_new_tokens=64,
+    )
+
+
+def test_table5_module_ablation(benchmark, results_dir):
+    table = benchmark.pedantic(_run_table5, rounds=1, iterations=1)
+    save_table(results_dir, "table5_module_ablation", table)
+    print("\n" + table.to_text(precision=2))
+
+    score = {row: table.get(row, "Score") for row in table.row_names}
+    memory = {row: table.get(row, "GPU Memory (GB)") for row in table.row_names}
+    tpot = {row: table.get(row, "TPOT (us)") for row in table.row_names}
+
+    # Without module I (chunk-level search) accuracy drops sharply while the
+    # precision budget — hence memory and latency — stays Cocktail-like.
+    assert score["w/o Module I"] < score["Cocktail"] - 5.0
+    assert memory["w/o Module I"] < memory["FP16"]
+    assert tpot["w/o Module I"] < tpot["FP16"]
+
+    # Without module II (reordering) accuracy matches Cocktail but the
+    # interleaved mixed-precision layout costs more memory and latency than
+    # even the FP16 baseline.
+    assert abs(score["w/o Module II"] - score["Cocktail"]) <= 10.0
+    assert memory["w/o Module II"] > memory["FP16"]
+    assert tpot["w/o Module II"] > tpot["FP16"]
+
+    # Full Cocktail: accuracy close to FP16 at the lowest memory and latency.
+    assert score["Cocktail"] >= score["FP16"] - 10.0
+    assert memory["Cocktail"] <= min(memory.values()) + 1e-9
+    assert tpot["Cocktail"] <= min(tpot.values()) + 1e-9

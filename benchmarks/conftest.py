@@ -1,0 +1,46 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes the
+resulting data to ``benchmarks/results/<name>.txt`` (and ``.csv``) so the
+numbers survive the run.  Benchmark sizes are kept small by default; set the
+``REPRO_BENCH_SAMPLES`` / ``REPRO_BENCH_MODELS`` environment variables to
+scale the accuracy experiments up.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_n_samples(default: int) -> int:
+    """Number of samples per dataset for accuracy benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", default))
+
+
+def bench_model_names() -> list[str]:
+    """Models evaluated by the accuracy benchmark (Table II)."""
+    raw = os.environ.get("REPRO_BENCH_MODELS", "llama2-7b,mistral-7b")
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark tables/series are persisted."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: Path, name: str, table) -> None:
+    """Persist a ResultTable as text and CSV next to the benchmarks."""
+    (results_dir / f"{name}.txt").write_text(table.to_text() + "\n")
+    (results_dir / f"{name}.csv").write_text(table.to_csv() + "\n")

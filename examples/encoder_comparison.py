@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Encoder study (Table IV): which retriever should drive the chunk search?
+
+Runs Cocktail with four different chunk/query encoders (ADA-002, BM25,
+LLM-Embedder, Facebook-Contriever) on a few datasets and reports the
+resulting task accuracy, reproducing the paper's observation that a strong
+semantic encoder matters — purely lexical BM25 mis-ranks paraphrased queries
+and loses accuracy.
+
+Run with:  python examples/encoder_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.ablation import encoder_comparison
+
+
+def main() -> None:
+    table = encoder_comparison(
+        datasets=("qasper", "samsum", "triviaqa"),
+        n_samples=3,
+        max_new_tokens=48,
+    )
+    print(table.to_text(precision=2))
+    print()
+    print("Expected shape (paper Table IV): Facebook-Contriever performs best,")
+    print("the dense encoders beat BM25, and BM25 loses the most accuracy.")
+
+
+if __name__ == "__main__":
+    main()

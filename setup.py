@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs also work on
+older tooling stacks (e.g. ``pip install -e . --no-use-pep517`` in offline
+environments without the ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Cocktail: chunk-adaptive mixed-precision KV cache quantization for "
+        "long-context LLM inference (DATE 2025 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,39 @@
+"""Baseline KV-cache quantization methods (Table II of the paper).
+
+* :class:`FP16Quantizer` — the unquantized reference.
+* :class:`AtomQuantizer` — uniform low-bit group quantization of K and V
+  (per-token groups), representing "trivial uniform quantization".
+* :class:`KIVIQuantizer` — per-channel K quantization plus per-token V
+  quantization.
+* :class:`KVQuantQuantizer` — token-level mixed precision: a small fraction
+  of outlier tokens stays FP16 and the rest is quantized with a non-uniform
+  (nuq-style) codebook; its token-level search carries a latency cost.
+
+All methods implement the common :class:`KVCacheQuantizer` interface so the
+evaluation harness and the hardware model treat them uniformly; the Cocktail
+method itself implements the same interface in
+:mod:`repro.core.quantizer`.
+"""
+
+from repro.baselines.atom import AtomQuantizer
+from repro.baselines.base import (
+    KVCacheQuantizer,
+    KVQuantizationPlan,
+    QuantizationRequest,
+)
+from repro.baselines.fp16 import FP16Quantizer
+from repro.baselines.kivi import KIVIQuantizer
+from repro.baselines.kvquant import KVQuantQuantizer
+from repro.baselines.registry import BASELINE_NAMES, get_baseline
+
+__all__ = [
+    "KVCacheQuantizer",
+    "KVQuantizationPlan",
+    "QuantizationRequest",
+    "FP16Quantizer",
+    "AtomQuantizer",
+    "KIVIQuantizer",
+    "KVQuantQuantizer",
+    "BASELINE_NAMES",
+    "get_baseline",
+]

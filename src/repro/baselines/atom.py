@@ -1,0 +1,55 @@
+"""Atom-style uniform group quantization of the KV cache.
+
+Atom quantizes activations and the KV cache to low bit-width with *group
+quantization*: contiguous groups of channels share a scale/zero-point.
+Following the paper's comparison setup, only the KV-cache functionality is
+used and the bitwidth is INT4.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    KVCacheQuantizer,
+    KVQuantizationPlan,
+    QuantizationRequest,
+    uniform_token_bits,
+)
+from repro.model.kv_cache import ModelKVCache
+from repro.quant.dtypes import BitWidth
+from repro.quant.group import group_quantize
+
+
+class AtomQuantizer(KVCacheQuantizer):
+    """Uniform INT4 group quantization of K and V (per-token groups)."""
+
+    name = "atom"
+    display_name = "Atom"
+
+    def __init__(self, bits: BitWidth | int = BitWidth.INT4, group_size: int = 128):
+        self.bits = BitWidth.from_bits(int(bits))
+        if group_size <= 0:
+            raise ValueError(f"group_size must be > 0, got {group_size}")
+        self.group_size = group_size
+
+    def plan(self, request: QuantizationRequest) -> KVQuantizationPlan:
+        """Uniform bitwidth for every context token; no search cost."""
+        return KVQuantizationPlan(
+            method=self.name,
+            context_len=request.context_len,
+            token_bits=uniform_token_bits(request.context_len, self.bits),
+            reordered=True,
+            search_seconds=0.0,
+            details={"group_size": self.group_size},
+        )
+
+    def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
+        """Group-quantize the context K and V of every layer."""
+        del plan
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            if k.shape[0] == 0:
+                continue
+            group = min(self.group_size, k.shape[-1])
+            k_hat = group_quantize(k, self.bits, group).dequantize()
+            v_hat = group_quantize(v, self.bits, group).dequantize()
+            cache.replace_context_kv(layer_index, k_hat, v_hat)

@@ -1,0 +1,33 @@
+"""The unquantized FP16 reference method."""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    KVCacheQuantizer,
+    KVQuantizationPlan,
+    QuantizationRequest,
+    uniform_token_bits,
+)
+from repro.model.kv_cache import ModelKVCache
+from repro.quant.dtypes import BitWidth
+
+
+class FP16Quantizer(KVCacheQuantizer):
+    """Keeps the whole KV cache at FP16 (the paper's accuracy upper bound)."""
+
+    name = "fp16"
+    display_name = "FP16"
+
+    def plan(self, request: QuantizationRequest) -> KVQuantizationPlan:
+        """All tokens stay at FP16; there is no search cost."""
+        return KVQuantizationPlan(
+            method=self.name,
+            context_len=request.context_len,
+            token_bits=uniform_token_bits(request.context_len, BitWidth.FP16),
+            reordered=True,
+            search_seconds=0.0,
+        )
+
+    def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
+        """No-op: the cache already holds full-precision values."""
+        del cache, plan

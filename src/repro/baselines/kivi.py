@@ -1,0 +1,51 @@
+"""KIVI-style asymmetric KV-cache quantization.
+
+KIVI's key observation is that K-cache outliers are concentrated in a few
+*channels*, so the K cache is quantized per channel while the V cache keeps
+the conventional per-token quantization.  Both use the same uniform bitwidth
+(INT4 in the paper's comparison setup).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    KVCacheQuantizer,
+    KVQuantizationPlan,
+    QuantizationRequest,
+    uniform_token_bits,
+)
+from repro.model.kv_cache import ModelKVCache
+from repro.quant.dtypes import BitWidth
+from repro.quant.schemes import fake_quantize_per_channel, fake_quantize_per_token
+
+
+class KIVIQuantizer(KVCacheQuantizer):
+    """Per-channel K and per-token V uniform quantization."""
+
+    name = "kivi"
+    display_name = "KIVI"
+
+    def __init__(self, bits: BitWidth | int = BitWidth.INT4):
+        self.bits = BitWidth.from_bits(int(bits))
+
+    def plan(self, request: QuantizationRequest) -> KVQuantizationPlan:
+        """Uniform bitwidth for every context token; no search cost."""
+        return KVQuantizationPlan(
+            method=self.name,
+            context_len=request.context_len,
+            token_bits=uniform_token_bits(request.context_len, self.bits),
+            reordered=True,
+            search_seconds=0.0,
+            details={"k_scheme": "per-channel", "v_scheme": "per-token"},
+        )
+
+    def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
+        """Quantize K per channel and V per token for every layer."""
+        del plan
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            if k.shape[0] == 0:
+                continue
+            k_hat = fake_quantize_per_channel(k, self.bits)
+            v_hat = fake_quantize_per_token(v, self.bits)
+            cache.replace_context_kv(layer_index, k_hat, v_hat)

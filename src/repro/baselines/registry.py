@@ -1,0 +1,26 @@
+"""Baseline registry (Cocktail registers itself via :mod:`repro.core.quantizer`)."""
+
+from __future__ import annotations
+
+from repro.baselines.atom import AtomQuantizer
+from repro.baselines.base import KVCacheQuantizer
+from repro.baselines.fp16 import FP16Quantizer
+from repro.baselines.kivi import KIVIQuantizer
+from repro.baselines.kvquant import KVQuantQuantizer
+
+#: Baseline method names in the paper's row order (Table II).
+BASELINE_NAMES: tuple[str, ...] = ("fp16", "atom", "kivi", "kvquant")
+
+
+def get_baseline(name: str, **kwargs) -> KVCacheQuantizer:
+    """Instantiate a baseline quantizer by name."""
+    key = name.lower()
+    if key == "fp16":
+        return FP16Quantizer()
+    if key == "atom":
+        return AtomQuantizer(**kwargs)
+    if key == "kivi":
+        return KIVIQuantizer(**kwargs)
+    if key == "kvquant":
+        return KVQuantQuantizer(**kwargs)
+    raise KeyError(f"unknown baseline {name!r}; known: {list(BASELINE_NAMES)}")

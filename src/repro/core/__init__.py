@@ -1,0 +1,51 @@
+"""Cocktail: the paper's primary contribution.
+
+* :mod:`repro.core.config` — hyper-parameters (chunk size, alpha/beta, the
+  three-precision ladder, encoder choice).
+* :mod:`repro.core.thresholds` — the data-dependent threshold rule
+  (equations 2-3) and the score-to-bitwidth assignment.
+* :mod:`repro.core.search` — chunk-level quantization search (module I).
+* :mod:`repro.core.reorder` — KV-cache chunk reordering (Figure 3).
+* :mod:`repro.core.cache` — the mixed-precision chunked KV cache with
+  per-precision contiguous segments.
+* :mod:`repro.core.computation` — chunk-level KV cache computation
+  (Algorithm 1, module II) and its dense reference.
+* :mod:`repro.core.quantizer` — Cocktail (and its ablation variants) behind
+  the common :class:`~repro.baselines.base.KVCacheQuantizer` interface.
+* :mod:`repro.core.pipeline` — the end-to-end inference pipeline (search,
+  reorder, quantize, decode).
+"""
+
+from repro.core.cache import ChunkedLayerCache, PrecisionSegment
+from repro.core.config import CocktailConfig
+from repro.core.pipeline import CocktailPipeline, CocktailRunResult
+from repro.core.quantizer import (
+    CocktailQuantizer,
+    NoReorderCocktailQuantizer,
+    RandomSearchCocktailQuantizer,
+)
+from repro.core.reorder import (
+    chunk_reorder_permutation,
+    inverse_permutation,
+    token_reorder_permutation,
+)
+from repro.core.search import ChunkQuantizationSearch, ChunkSearchResult
+from repro.core.thresholds import assign_bitwidths, compute_thresholds
+
+__all__ = [
+    "CocktailConfig",
+    "ChunkQuantizationSearch",
+    "ChunkSearchResult",
+    "compute_thresholds",
+    "assign_bitwidths",
+    "chunk_reorder_permutation",
+    "token_reorder_permutation",
+    "inverse_permutation",
+    "ChunkedLayerCache",
+    "PrecisionSegment",
+    "CocktailQuantizer",
+    "RandomSearchCocktailQuantizer",
+    "NoReorderCocktailQuantizer",
+    "CocktailPipeline",
+    "CocktailRunResult",
+]

@@ -1,0 +1,148 @@
+"""Chunk-level KV cache computation (Algorithm 1, module II).
+
+The decode-phase attention is computed blockwise over the precision
+segments: one fused "FP16 x quantized" matmul (``fqm``) per integer segment
+and one plain matmul for the FP16 segment produce partial attention-logit
+blocks which are concatenated, soft-maxed jointly, split again and folded
+back against the per-segment V blocks.  Because softmax and the final sum are
+invariant under a permutation of the key/value blocks (equations 4-5 of the
+paper), the result is identical to dense attention over the cache in its
+original order — :func:`dense_decode_attention` is the reference the tests
+compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import ChunkedLayerCache
+from repro.model.attention import softmax
+from repro.quant.kernels import fqm, mm
+
+
+def _expand_heads(kv: np.ndarray, gqa_group: int) -> np.ndarray:
+    """Repeat KV heads to match the query heads."""
+    if gqa_group == 1:
+        return kv
+    return np.repeat(kv, gqa_group, axis=1)
+
+
+def chunk_level_decode_attention(
+    q: np.ndarray,
+    layer_cache: ChunkedLayerCache,
+    decode_k: np.ndarray,
+    decode_v: np.ndarray,
+    *,
+    gqa_group: int = 1,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Blockwise decode attention over a chunked mixed-precision cache.
+
+    Parameters
+    ----------
+    q:
+        ``(n_heads, head_dim)`` query of the current decode token.
+    layer_cache:
+        The reordered, quantized context cache of this layer.
+    decode_k, decode_v:
+        ``(m, n_kv_heads, head_dim)`` full-precision K/V of the
+        non-quantized region (query tokens and previously generated tokens).
+    gqa_group:
+        Number of query heads per KV head.
+    scale:
+        Attention logit scale (typically ``1/sqrt(head_dim)``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_heads, head_dim)`` per-head context vectors (before the output
+        projection).
+    """
+    q = np.asarray(q, dtype=np.float32)
+    n_heads, head_dim = q.shape
+
+    # Attention logits, one block per precision segment (the paper's
+    # ``att = cat(fqm(...), fqm(...), mm(...))``), plus the FP16 decode block.
+    logit_blocks: list[np.ndarray] = []
+    value_blocks: list[np.ndarray] = []
+    for segment in layer_cache.segments:
+        k_seg = _expand_heads(segment.dequantize_k(), gqa_group)  # fqm: dequant inside the kernel
+        v_seg = _expand_heads(segment.dequantize_v(), gqa_group)
+        # (n_heads, n_seg): per head, q_h @ K_seg_h^T
+        block = np.einsum("he,khe->hk", q, k_seg) * scale
+        logit_blocks.append(block.astype(np.float32))
+        value_blocks.append(v_seg)
+    if decode_k.shape[0]:
+        k_dec = _expand_heads(np.asarray(decode_k, dtype=np.float32), gqa_group)
+        v_dec = _expand_heads(np.asarray(decode_v, dtype=np.float32), gqa_group)
+        logit_blocks.append((np.einsum("he,khe->hk", q, k_dec) * scale).astype(np.float32))
+        value_blocks.append(v_dec)
+
+    logits = np.concatenate(logit_blocks, axis=1)
+    probs = softmax(logits, axis=-1)
+
+    # Split the probabilities back into blocks and accumulate the partial
+    # outputs (``output = fqm(att_2, V_2) + fqm(att_4, V_4) + mm(att_16, V_16)``).
+    output = np.zeros((n_heads, head_dim), dtype=np.float32)
+    offset = 0
+    for values in value_blocks:
+        width = values.shape[0]
+        att_block = probs[:, offset : offset + width]
+        output += np.einsum("hk,khe->he", att_block, values).astype(np.float32)
+        offset += width
+    return output
+
+
+def dense_decode_attention(
+    q: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    *,
+    gqa_group: int = 1,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Reference dense decode attention over unpartitioned K/V arrays."""
+    q = np.asarray(q, dtype=np.float32)
+    keys = _expand_heads(np.asarray(keys, dtype=np.float32), gqa_group)
+    values = _expand_heads(np.asarray(values, dtype=np.float32), gqa_group)
+    logits = np.einsum("he,khe->hk", q, keys) * scale
+    probs = softmax(logits, axis=-1)
+    return np.einsum("hk,khe->he", probs, values).astype(np.float32)
+
+
+def blockwise_matches_dense(
+    q: np.ndarray,
+    layer_cache: ChunkedLayerCache,
+    decode_k: np.ndarray,
+    decode_v: np.ndarray,
+    *,
+    gqa_group: int = 1,
+    scale: float = 1.0,
+    atol: float = 1e-5,
+) -> bool:
+    """Check the permutation-invariance claim (equations 4-5) numerically.
+
+    The blockwise output over the *reordered* cache must equal dense
+    attention over the same (dequantized) cache in its *original* order
+    followed by the decode-region rows.
+    """
+    blockwise = chunk_level_decode_attention(
+        q, layer_cache, decode_k, decode_v, gqa_group=gqa_group, scale=scale
+    )
+    keys = np.concatenate([layer_cache.keys_original_order(), decode_k], axis=0)
+    values = np.concatenate([layer_cache.values_original_order(), decode_v], axis=0)
+    dense = dense_decode_attention(q, keys, values, gqa_group=gqa_group, scale=scale)
+    return bool(np.allclose(blockwise, dense, atol=atol))
+
+
+def simple_fqm_attention_demo(
+    q: np.ndarray, k_quantized, v_quantized, scale: float = 1.0
+) -> np.ndarray:
+    """Minimal Algorithm-1 style attention over a single quantized block.
+
+    Provided for documentation/examples: uses the :func:`fqm` and :func:`mm`
+    kernels directly on 2-D operands, mirroring the paper's pseudocode.
+    """
+    att = fqm(q, np.swapaxes(k_quantized.dequantize(), -1, -2)) * scale
+    att = softmax(att, axis=-1)
+    return mm(att, v_quantized.dequantize())

@@ -1,0 +1,73 @@
+"""Cocktail hyper-parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quant.dtypes import BitWidth
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class CocktailConfig:
+    """Configuration of the Cocktail method.
+
+    Defaults follow the paper's main experiments: chunk size 32, alpha 0.6,
+    beta 0.1, a FP16/INT4/INT2 precision ladder and the Facebook-Contriever
+    encoder.
+
+    Attributes
+    ----------
+    chunk_size:
+        Number of context tokens per chunk.
+    alpha, beta:
+        Threshold hyper-parameters of equations 2-3:
+        ``T_low = s_min + (s_max - s_min) * alpha`` and
+        ``T_high = s_max - (s_max - s_min) * beta``.
+    low_bits, mid_bits, high_bits:
+        Precision assigned to chunks below ``T_low``, between the thresholds,
+        and above ``T_high`` respectively.
+    encoder_name:
+        Name of the chunk/query encoder (see
+        :data:`repro.retrieval.registry.ENCODER_NAMES`).
+    reorder:
+        Whether to apply chunk-level KV cache computation (module II).
+        Disabled only by the ablation variant.
+    """
+
+    chunk_size: int = 32
+    alpha: float = 0.6
+    beta: float = 0.1
+    low_bits: BitWidth = BitWidth.INT2
+    mid_bits: BitWidth = BitWidth.INT4
+    high_bits: BitWidth = BitWidth.FP16
+    encoder_name: str = "contriever"
+    reorder: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("chunk_size", self.chunk_size)
+        check_probability("alpha", self.alpha)
+        check_probability("beta", self.beta)
+        object.__setattr__(self, "low_bits", BitWidth.from_bits(int(self.low_bits)))
+        object.__setattr__(self, "mid_bits", BitWidth.from_bits(int(self.mid_bits)))
+        object.__setattr__(self, "high_bits", BitWidth.from_bits(int(self.high_bits)))
+
+    @property
+    def ladder(self) -> tuple[BitWidth, BitWidth, BitWidth]:
+        """The (low, mid, high) precision ladder."""
+        return (self.low_bits, self.mid_bits, self.high_bits)
+
+    def with_overrides(self, **kwargs) -> "CocktailConfig":
+        """Return a copy with the given fields replaced."""
+        current = {
+            "chunk_size": self.chunk_size,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "low_bits": self.low_bits,
+            "mid_bits": self.mid_bits,
+            "high_bits": self.high_bits,
+            "encoder_name": self.encoder_name,
+            "reorder": self.reorder,
+        }
+        current.update(kwargs)
+        return CocktailConfig(**current)

@@ -1,0 +1,71 @@
+"""KV-cache chunk reordering (module II, Figure 3).
+
+Chunks assigned to the same bitwidth are made physically contiguous by a
+stable permutation (chunks keep their relative order within a precision
+group, exactly as drawn in Figure 3).  Attention is invariant under this
+permutation — equations 4-5 of the paper — which
+:mod:`repro.core.computation` verifies numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.quant.dtypes import COCKTAIL_LADDER, BitWidth
+
+
+def chunk_reorder_permutation(
+    chunk_bits: Sequence[BitWidth],
+    *,
+    precision_order: Sequence[BitWidth] = COCKTAIL_LADDER,
+) -> np.ndarray:
+    """Return the chunk permutation (new position -> original chunk index).
+
+    Chunks are grouped by precision in ``precision_order`` (INT2, INT4, FP16
+    by default) with a stable order inside each group.
+    """
+    order_rank = {bits: rank for rank, bits in enumerate(precision_order)}
+    missing = {bits for bits in chunk_bits if bits not in order_rank}
+    if missing:
+        raise ValueError(f"chunk bitwidths {sorted(missing)} not in precision order")
+    ranks = np.asarray([order_rank[bits] for bits in chunk_bits], dtype=np.int64)
+    return np.argsort(ranks, kind="stable")
+
+
+def token_reorder_permutation(
+    chunk_spans: Sequence[tuple[int, int]],
+    chunk_bits: Sequence[BitWidth],
+    context_len: int,
+    *,
+    tail_span: tuple[int, int] | None = None,
+    precision_order: Sequence[BitWidth] = COCKTAIL_LADDER,
+) -> np.ndarray:
+    """Expand the chunk permutation to a token permutation over the context.
+
+    Tokens of the non-divisible tail (kept at FP16) are appended after the
+    FP16 chunk group so that the whole FP16 region stays contiguous.
+    """
+    if len(chunk_spans) != len(chunk_bits):
+        raise ValueError("chunk_spans and chunk_bits must have equal length")
+    chunk_perm = chunk_reorder_permutation(chunk_bits, precision_order=precision_order)
+    token_order: list[int] = []
+    for chunk_index in chunk_perm:
+        start, end = chunk_spans[int(chunk_index)]
+        token_order.extend(range(start, end))
+    if tail_span is not None:
+        token_order.extend(range(tail_span[0], tail_span[1]))
+    if len(token_order) != context_len:
+        raise ValueError(
+            f"chunk spans cover {len(token_order)} tokens but context has {context_len}"
+        )
+    return np.asarray(token_order, dtype=np.int64)
+
+
+def inverse_permutation(permutation: np.ndarray) -> np.ndarray:
+    """Return the inverse of a permutation array."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(permutation.size)
+    return inverse

@@ -1,0 +1,87 @@
+"""Chunk-level quantization search (module I).
+
+The search borrows the RAG recipe: encode the query and every context chunk,
+compute cosine similarities, derive the two thresholds from the score range
+(equations 2-3) and map every chunk to one of the three precisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import CocktailConfig
+from repro.core.thresholds import assign_bitwidths, compute_thresholds
+from repro.quant.dtypes import BitWidth
+from repro.retrieval.base import Encoder
+
+
+@dataclass
+class ChunkSearchResult:
+    """Outcome of one chunk-level quantization search.
+
+    Attributes
+    ----------
+    scores:
+        Cosine similarity of every chunk against the query.
+    t_low, t_high:
+        The data-dependent thresholds.
+    chunk_bits:
+        Bitwidth assigned to each chunk.
+    search_seconds:
+        Modeled latency of the search (encoder calls), charged once per
+        request by the throughput model.
+    """
+
+    scores: np.ndarray
+    t_low: float
+    t_high: float
+    chunk_bits: list[BitWidth]
+    search_seconds: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of scored chunks."""
+        return len(self.chunk_bits)
+
+    def count(self, bits: BitWidth) -> int:
+        """Number of chunks assigned to ``bits``."""
+        return sum(1 for b in self.chunk_bits if b is bits)
+
+    def fraction(self, bits: BitWidth) -> float:
+        """Fraction of chunks assigned to ``bits``."""
+        return self.count(bits) / self.n_chunks if self.n_chunks else 0.0
+
+
+class ChunkQuantizationSearch:
+    """Scores chunks against the query and assigns per-chunk bitwidths."""
+
+    def __init__(self, encoder: Encoder, config: CocktailConfig | None = None):
+        self.encoder = encoder
+        self.config = config or CocktailConfig()
+
+    def search(self, chunk_texts: Sequence[str], query_text: str) -> ChunkSearchResult:
+        """Run the search over ``chunk_texts`` for ``query_text``."""
+        if not chunk_texts:
+            raise ValueError("chunk-level search needs at least one chunk")
+        scores = np.asarray(self.encoder.similarity(query_text, list(chunk_texts)), dtype=np.float64)
+        t_low, t_high = compute_thresholds(scores, self.config.alpha, self.config.beta)
+        chunk_bits = assign_bitwidths(
+            scores,
+            t_low,
+            t_high,
+            low_bits=self.config.low_bits,
+            mid_bits=self.config.mid_bits,
+            high_bits=self.config.high_bits,
+        )
+        return ChunkSearchResult(
+            scores=scores,
+            t_low=t_low,
+            t_high=t_high,
+            chunk_bits=chunk_bits,
+            search_seconds=self.encoder.search_latency_seconds(len(chunk_texts)),
+            details={"encoder": self.encoder.name},
+        )

@@ -1,0 +1,59 @@
+"""Threshold rule of the chunk-level quantization search (equations 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.dtypes import BitWidth
+from repro.utils.validation import check_probability
+
+
+def compute_thresholds(
+    scores: np.ndarray, alpha: float, beta: float
+) -> tuple[float, float]:
+    """Compute the data-dependent thresholds ``(T_low, T_high)``.
+
+    ``T_low = s_min + (s_max - s_min) * alpha`` and
+    ``T_high = s_max - (s_max - s_min) * beta`` where ``s_min``/``s_max`` are
+    the minimum and maximum similarity scores of the current request.
+    """
+    check_probability("alpha", alpha)
+    check_probability("beta", beta)
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("cannot compute thresholds over an empty score list")
+    s_min = float(scores.min())
+    s_max = float(scores.max())
+    spread = s_max - s_min
+    t_low = s_min + spread * alpha
+    t_high = s_max - spread * beta
+    return t_low, t_high
+
+
+def assign_bitwidths(
+    scores: np.ndarray,
+    t_low: float,
+    t_high: float,
+    *,
+    low_bits: BitWidth = BitWidth.INT2,
+    mid_bits: BitWidth = BitWidth.INT4,
+    high_bits: BitWidth = BitWidth.FP16,
+) -> list[BitWidth]:
+    """Map similarity scores to per-chunk bitwidths.
+
+    The comparison order follows Algorithm 1 of the paper exactly:
+    ``score < T_low`` -> low precision, else ``score > T_high`` -> high
+    precision, else the middle precision.  (With extreme alpha/beta choices
+    the thresholds can cross; the pseudocode's ordering resolves the tie in
+    favour of the low precision.)
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    bitwidths: list[BitWidth] = []
+    for score in scores:
+        if score < t_low:
+            bitwidths.append(low_bits)
+        elif score > t_high:
+            bitwidths.append(high_bits)
+        else:
+            bitwidths.append(mid_bits)
+    return bitwidths

@@ -1,0 +1,40 @@
+"""Synthetic LongBench-style long-context task generators.
+
+Real LongBench data cannot be downloaded offline, so each of the eight
+evaluation datasets (Table I of the paper) is replaced by a synthetic task
+generator that reproduces the *structural* properties the paper relies on:
+
+* a long context in which only a few chunks are relevant to the query
+  (Figure 1),
+* a gold answer that can only be produced by reading those relevant chunks
+  (planted key/value facts recovered by the constructed induction model),
+* paraphrased queries whose relevant chunks can be found semantically but
+  not purely lexically (driving the encoder comparison of Table IV),
+* task-dependent answer lengths and context compositions so the eight
+  datasets produce distinct score levels (Table II).
+
+See DESIGN.md for the full substitution rationale.
+"""
+
+from repro.datasets.base import DatasetSpec, LongContextSample
+from repro.datasets.generator import SampleGenerator
+from repro.datasets.longbench import (
+    LONGBENCH_SPECS,
+    build_dataset,
+    build_vocabulary,
+    dataset_names,
+    get_dataset_spec,
+)
+from repro.datasets.vocab import Vocabulary
+
+__all__ = [
+    "DatasetSpec",
+    "LongContextSample",
+    "SampleGenerator",
+    "Vocabulary",
+    "LONGBENCH_SPECS",
+    "build_dataset",
+    "build_vocabulary",
+    "dataset_names",
+    "get_dataset_spec",
+]

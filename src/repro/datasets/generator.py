@@ -1,0 +1,290 @@
+"""Synthetic long-context sample generator.
+
+Every sample is a long context with *planted facts*:
+
+* one **answer fact** ``[key, v1 .. vL, <sep>]`` whose value phrase is the
+  gold answer; the key appears exactly once in the context and once at the
+  end of the query, so the constructed induction model can copy the phrase,
+* a few **related facts** about the same topic (moderately relevant — they
+  should receive a middle precision from the chunk-level search),
+* many **distractor facts** about other topics and filler segments
+  (irrelevant — safe to quantize to INT2),
+* optional **lexical trap** segments that repeat the query's question words
+  without containing anything relevant (they fool term-matching encoders).
+
+Value words are topic-specific, so the chunks holding the continuation of a
+long answer remain *semantically* recognisable as relevant even though they
+share no surface words with the query — exactly the property that separates
+dense encoders from BM25 in Table IV of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import DatasetSpec, LongContextSample
+from repro.datasets.vocab import Vocabulary
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class _Segment:
+    """A contiguous block of context words with a role label."""
+
+    words: list[str]
+    role: str  # "answer", "related", "distractor", "filler", "trap"
+
+
+class SampleGenerator:
+    """Generates :class:`LongContextSample` instances for one dataset spec."""
+
+    def __init__(self, vocab: Vocabulary, spec: DatasetSpec, seed: int = 0):
+        self.vocab = vocab
+        self.spec = spec
+        self.seed = seed
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(self, sample_id: int) -> LongContextSample:
+        """Generate one deterministic sample."""
+        rng = derive_rng(self.seed, "sample", self.spec.name, sample_id)
+        topic = self.vocab.topics[int(rng.integers(len(self.vocab.topics)))]
+        context_syns, query_syns = self._split_synonyms(topic)
+
+        keys = self._draw_unique(rng, self.vocab.keys, 1 + self.spec.n_related_facts
+                                 + self.spec.n_distractor_facts)
+        answer_key = keys[0]
+        related_keys = keys[1 : 1 + self.spec.n_related_facts]
+        distractor_keys = keys[1 + self.spec.n_related_facts :]
+
+        topic_values = self._topic_values(topic)
+        rng.shuffle(topic_values)
+        answer_len = int(rng.integers(self.spec.answer_length[0], self.spec.answer_length[1] + 1))
+        if self.spec.answer_from_labels:
+            answer_values = [self.vocab.labels[int(rng.integers(len(self.vocab.labels)))]]
+        else:
+            answer_values = topic_values[:answer_len]
+        remaining_topic_values = topic_values[len(answer_values) :]
+
+        segments: list[_Segment] = []
+        # The answer fact sits inside a topical region: the words surrounding
+        # the copied phrase are the topic's own terminology, so every chunk
+        # overlapping the answer span remains semantically recognisable as
+        # relevant even when the phrase straddles a chunk boundary.
+        n_padding = max(12, self.spec.topic_words_per_segment * 3)
+        topical_padding, remaining_topic_values = (
+            remaining_topic_values[:n_padding],
+            remaining_topic_values[n_padding:],
+        )
+        answer_segment = self._build_fact_segment(
+            rng,
+            answer_key,
+            answer_values,
+            context_syns,
+            role="answer",
+            topical_padding=topical_padding,
+        )
+        for key in related_keys:
+            n_vals = int(rng.integers(4, 9))
+            values, remaining_topic_values = (
+                remaining_topic_values[:n_vals],
+                remaining_topic_values[n_vals:],
+            )
+            if self.spec.answer_from_labels:
+                values = [self.vocab.labels[int(rng.integers(len(self.vocab.labels)))]]
+            segments.append(
+                self._build_fact_segment(rng, key, values, context_syns, role="related")
+            )
+        for key in distractor_keys:
+            other_topic = self._other_topic(rng, topic)
+            other_values = self._topic_values(other_topic)
+            rng.shuffle(other_values)
+            n_vals = int(rng.integers(4, 9))
+            if self.spec.answer_from_labels:
+                fact_values = [self.vocab.labels[int(rng.integers(len(self.vocab.labels)))]]
+            else:
+                fact_values = other_values[:n_vals]
+            segments.append(
+                self._build_fact_segment(
+                    rng,
+                    key,
+                    fact_values,
+                    self.vocab.synonyms_of(other_topic)[:2],
+                    role="distractor",
+                )
+            )
+        for _ in range(self.spec.n_trap_chunks):
+            segments.append(self._build_trap_segment(rng))
+
+        context_words = self._assemble_context(rng, segments, answer_segment)
+        relevant_span = self._find_span(context_words, answer_segment.words)
+        related_spans = tuple(
+            self._find_span(context_words, seg.words)
+            for seg in segments
+            if seg.role == "related"
+        )
+
+        query_words = self._build_query(rng, query_syns, answer_key)
+        answer_text = " ".join(answer_values)
+
+        return LongContextSample(
+            dataset=self.spec.name,
+            metric=self.spec.metric,
+            sample_id=sample_id,
+            context_words=tuple(context_words),
+            query_words=tuple(query_words),
+            answer_text=answer_text,
+            answer_key=answer_key,
+            topic=topic,
+            relevant_span=relevant_span,
+            related_spans=related_spans,
+        )
+
+    def generate_many(self, n_samples: int, start_id: int = 0) -> list[LongContextSample]:
+        """Generate ``n_samples`` samples with consecutive IDs."""
+        return [self.generate(start_id + i) for i in range(n_samples)]
+
+    # -- building blocks ------------------------------------------------------
+
+    def _split_synonyms(self, topic: str) -> tuple[list[str], list[str]]:
+        synonyms = self.vocab.synonyms_of(topic)
+        half = max(1, len(synonyms) // 2)
+        context_syns = synonyms[:half]
+        if self.spec.query_paraphrase and len(synonyms) > half:
+            query_syns = synonyms[half:]
+        else:
+            query_syns = synonyms[:half]
+        return context_syns, query_syns
+
+    def _topic_values(self, topic: str) -> list[str]:
+        """Value words reserved for ``topic`` (topic-specific terminology)."""
+        topic_index = self.vocab.topics.index(topic)
+        per_topic = len(self.vocab.values) // len(self.vocab.topics)
+        start = topic_index * per_topic
+        return list(self.vocab.values[start : start + per_topic])
+
+    def _other_topic(self, rng: np.random.Generator, topic: str) -> str:
+        candidates = [t for t in self.vocab.topics if t != topic]
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def _draw_unique(self, rng: np.random.Generator, pool: list[str], count: int) -> list[str]:
+        if count > len(pool):
+            raise ValueError(f"cannot draw {count} unique words from a pool of {len(pool)}")
+        indices = rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in indices]
+
+    def _build_fact_segment(
+        self,
+        rng: np.random.Generator,
+        key: str,
+        values: list[str],
+        topic_synonyms: list[str],
+        *,
+        role: str,
+        topical_padding: list[str] | None = None,
+    ) -> _Segment:
+        """A fact: topical lead-in, then ``key v1 .. vL <sep>``, then topical tail.
+
+        The copied phrase itself (``key .. <sep>``) stays contiguous so the
+        induction model can reproduce it token by token; the topical words
+        around it give the chunk its semantic signature.  ``topical_padding``
+        (extra same-topic terminology, used for the answer fact) is split
+        between the lead-in and the tail so neighbouring chunks stay
+        on-topic.
+        """
+        n_topic = max(2, self.spec.topic_words_per_segment)
+        lead = [topic_synonyms[int(rng.integers(len(topic_synonyms)))] for _ in range(n_topic // 2)]
+        tail = [topic_synonyms[int(rng.integers(len(topic_synonyms)))] for _ in range(n_topic - n_topic // 2)]
+        if topical_padding:
+            half = len(topical_padding) // 2
+            lead = list(topical_padding[:half]) + lead
+            tail = tail + list(topical_padding[half:])
+        else:
+            filler_pool = self.vocab.filler_pool(self.spec.style)
+            lead += [filler_pool[int(rng.integers(len(filler_pool)))] for _ in range(2)]
+        words = lead + [key] + list(values) + ["<sep>"] + tail
+        return _Segment(words=words, role=role)
+
+    def _build_trap_segment(self, rng: np.random.Generator) -> _Segment:
+        """A segment that repeats query surface words but holds no fact."""
+        filler_pool = self.vocab.filler_pool(self.spec.style)
+        n_qwords = int(rng.integers(4, 8))
+        qwords = [
+            self.vocab.question_words[int(rng.integers(len(self.vocab.question_words)))]
+            for _ in range(n_qwords)
+        ]
+        fillers = [filler_pool[int(rng.integers(len(filler_pool)))] for _ in range(24 - n_qwords)]
+        words = []
+        for qword, filler in zip(qwords, fillers):
+            words.extend([qword, filler])
+        words.extend(fillers[len(qwords) :])
+        return _Segment(words=words, role="trap")
+
+    def _build_filler_segment(self, rng: np.random.Generator, length: int) -> _Segment:
+        filler_pool = self.vocab.filler_pool(self.spec.style)
+        words = [filler_pool[int(rng.integers(len(filler_pool)))] for _ in range(length)]
+        return _Segment(words=words, role="filler")
+
+    def _build_query(
+        self, rng: np.random.Generator, query_syns: list[str], answer_key: str
+    ) -> list[str]:
+        n_qwords = int(rng.integers(3, 6))
+        qwords = [
+            self.vocab.question_words[int(rng.integers(len(self.vocab.question_words)))]
+            for _ in range(n_qwords)
+        ]
+        topical = [query_syns[int(rng.integers(len(query_syns)))] for _ in range(2)]
+        return qwords + topical + [answer_key]
+
+    def _assemble_context(
+        self,
+        rng: np.random.Generator,
+        segments: list[_Segment],
+        answer_segment: _Segment,
+    ) -> list[str]:
+        """Interleave fact segments with filler up to the target context length."""
+        target = self.spec.n_context_words
+        other_length = sum(len(seg.words) for seg in segments) + len(answer_segment.words)
+        filler_budget = max(0, target - other_length)
+        n_slots = len(segments) + 1
+        filler_segments = []
+        remaining = filler_budget
+        for slot in range(n_slots):
+            share = remaining // (n_slots - slot)
+            jitter = int(rng.integers(-share // 4, share // 4 + 1)) if share >= 8 else 0
+            length = max(0, share + jitter)
+            remaining -= length
+            if length:
+                filler_segments.append(self._build_filler_segment(rng, length))
+            else:
+                filler_segments.append(_Segment(words=[], role="filler"))
+
+        ordered = list(segments)
+        rng.shuffle(ordered)
+        # Insert the answer segment near its preferred relative position.
+        jittered = self.spec.answer_position + float(rng.uniform(-0.15, 0.15))
+        position = int(np.clip(jittered, 0.05, 0.95) * len(ordered))
+        ordered.insert(position, answer_segment)
+
+        words: list[str] = []
+        for seg, filler in zip(ordered, filler_segments):
+            words.extend(filler.words)
+            words.extend(seg.words)
+        if len(filler_segments) > len(ordered):
+            words.extend(filler_segments[len(ordered)].words)
+        return words
+
+    @staticmethod
+    def _find_span(context_words: list[str], segment_words: list[str]) -> tuple[int, int]:
+        """Locate ``segment_words`` inside ``context_words`` (first occurrence)."""
+        if not segment_words:
+            return (0, 0)
+        first = segment_words[0]
+        for start in range(len(context_words) - len(segment_words) + 1):
+            if context_words[start] != first:
+                continue
+            if context_words[start : start + len(segment_words)] == segment_words:
+                return (start, start + len(segment_words))
+        raise RuntimeError("segment not found in assembled context")

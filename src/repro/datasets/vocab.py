@@ -1,0 +1,126 @@
+"""Synthetic vocabulary with topics, synonyms, facts and filler words.
+
+The vocabulary supplies:
+
+* **topics** — concepts with several synonym surface forms; queries and
+  context use *different* synonyms of the same topic, which is what separates
+  semantic encoders from lexical ones (Table IV),
+* **keys** — unique fact identifiers (the token the induction model matches),
+* **values** — fact payload words (the tokens the model must copy),
+* **labels** — the closed label set of the classification task (TREC),
+* **question words** and **filler words** — surface noise,
+* a **lexicon** mapping every surface word to its concept, handed to the
+  dense encoders as their "semantic knowledge".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """Word pools shared by all synthetic datasets."""
+
+    n_topics: int = 40
+    n_synonyms: int = 4
+    n_keys: int = 240
+    n_values: int = 5120
+    n_labels: int = 6
+    n_question_words: int = 24
+    n_filler_words: int = 320
+    n_code_words: int = 160
+    n_dialogue_words: int = 120
+
+    topic_synonyms: dict[str, list[str]] = field(init=False, repr=False)
+    keys: list[str] = field(init=False, repr=False)
+    values: list[str] = field(init=False, repr=False)
+    labels: list[str] = field(init=False, repr=False)
+    question_words: list[str] = field(init=False, repr=False)
+    filler_words: list[str] = field(init=False, repr=False)
+    code_words: list[str] = field(init=False, repr=False)
+    dialogue_words: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "topic_synonyms",
+            {
+                f"topic{t}": [f"topic{t}syn{s}" for s in range(self.n_synonyms)]
+                for t in range(self.n_topics)
+            },
+        )
+        object.__setattr__(self, "keys", [f"key{i}" for i in range(self.n_keys)])
+        object.__setattr__(self, "values", [f"val{i}" for i in range(self.n_values)])
+        object.__setattr__(self, "labels", [f"label{i}" for i in range(self.n_labels)])
+        object.__setattr__(
+            self, "question_words", [f"qword{i}" for i in range(self.n_question_words)]
+        )
+        object.__setattr__(
+            self, "filler_words", [f"filler{i}" for i in range(self.n_filler_words)]
+        )
+        object.__setattr__(
+            self, "code_words", [f"codetok{i}" for i in range(self.n_code_words)]
+        )
+        object.__setattr__(
+            self, "dialogue_words", [f"chat{i}" for i in range(self.n_dialogue_words)]
+        )
+
+    @property
+    def topics(self) -> list[str]:
+        """Topic concept identifiers."""
+        return list(self.topic_synonyms)
+
+    def synonyms_of(self, topic: str) -> list[str]:
+        """Surface forms of a topic concept."""
+        return list(self.topic_synonyms[topic])
+
+    @property
+    def values_per_topic(self) -> int:
+        """Number of value words reserved for each topic."""
+        return self.n_values // self.n_topics
+
+    def topic_of_value(self, value_index: int) -> str:
+        """Topic concept that value word ``val{value_index}`` belongs to."""
+        topic_index = min(value_index // self.values_per_topic, self.n_topics - 1)
+        return f"topic{topic_index}"
+
+    @property
+    def lexicon(self) -> dict[str, str]:
+        """Surface word -> concept mapping (the dense encoders' knowledge).
+
+        Topic synonyms map to their topic concept, and value words map to the
+        topic whose terminology they belong to — a dense retriever recognises
+        that a passage full of a topic's terminology is about that topic even
+        when no query word appears verbatim, which is exactly what separates
+        the dense encoders from BM25 in Table IV.
+        """
+        mapping: dict[str, str] = {}
+        for topic, synonyms in self.topic_synonyms.items():
+            for synonym in synonyms:
+                mapping[synonym] = topic
+        for index, value_word in enumerate(self.values):
+            mapping[value_word] = self.topic_of_value(index)
+        return mapping
+
+    def all_words(self) -> list[str]:
+        """Every surface word, in a stable order (tokenizer vocabulary)."""
+        words: list[str] = []
+        for synonyms in self.topic_synonyms.values():
+            words.extend(synonyms)
+        words.extend(self.keys)
+        words.extend(self.values)
+        words.extend(self.labels)
+        words.extend(self.question_words)
+        words.extend(self.filler_words)
+        words.extend(self.code_words)
+        words.extend(self.dialogue_words)
+        return words
+
+    def filler_pool(self, style: str) -> list[str]:
+        """Filler word pool for a dataset style (``prose``, ``dialogue``, ``code``)."""
+        if style == "code":
+            return list(self.code_words)
+        if style == "dialogue":
+            return list(self.dialogue_words) + list(self.filler_words[:80])
+        return list(self.filler_words)

@@ -1,0 +1,45 @@
+"""Experiment harness: runners and report formatting for every paper table/figure.
+
+* :mod:`repro.evaluation.setup` — builders for tokenizers, simulation models
+  and quantizers (the five compared methods plus ablation variants).
+* :mod:`repro.evaluation.accuracy` — the Table II accuracy runner.
+* :mod:`repro.evaluation.efficiency` — Figures 4-6 (memory, TPOT, throughput)
+  via the analytic hardware model, fed by precision profiles measured on
+  actual simulated requests.
+* :mod:`repro.evaluation.ablation` — Table III (chunk size), Figure 7
+  (alpha/beta), Table IV (encoders) and Table V (module ablation).
+* :mod:`repro.evaluation.report` — result tables and text/markdown rendering.
+"""
+
+from repro.evaluation.accuracy import AccuracyRunner, evaluate_sample
+from repro.evaluation.efficiency import (
+    EFFICIENCY_CONTEXT_LENS,
+    memory_table,
+    representative_profile,
+    throughput_table,
+    tpot_table,
+)
+from repro.evaluation.report import ResultTable
+from repro.evaluation.setup import (
+    DEFAULT_METHODS,
+    METHOD_DISPLAY_NAMES,
+    build_model,
+    build_quantizer,
+    build_tokenizer,
+)
+
+__all__ = [
+    "AccuracyRunner",
+    "evaluate_sample",
+    "ResultTable",
+    "DEFAULT_METHODS",
+    "METHOD_DISPLAY_NAMES",
+    "build_model",
+    "build_quantizer",
+    "build_tokenizer",
+    "representative_profile",
+    "memory_table",
+    "tpot_table",
+    "throughput_table",
+    "EFFICIENCY_CONTEXT_LENS",
+]

@@ -1,0 +1,238 @@
+"""Analysis and ablation experiments (Table III, Figure 7, Table IV, Table V)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import CocktailConfig
+from repro.datasets.longbench import build_dataset, get_dataset_spec
+from repro.evaluation.accuracy import AccuracyRunner, evaluate_sample
+from repro.evaluation.efficiency import EFFICIENCY_CONTEXT_LENS, representative_profile
+from repro.evaluation.report import ResultTable
+from repro.evaluation.setup import (
+    build_model,
+    build_quantizer,
+    build_tokenizer,
+    method_display_name,
+    shared_vocabulary,
+)
+from repro.hardware.gpu import A800_80GB
+from repro.hardware.latency import tpot_microseconds
+from repro.hardware.memory import gpu_memory_gb
+from repro.model.config import get_model_spec
+from repro.retrieval.registry import ENCODER_NAMES
+
+
+def _score_cocktail_variant(
+    *,
+    model_name: str = "llama2-7b",
+    dataset: str = "qmsum",
+    method: str = "cocktail",
+    cocktail_config: CocktailConfig,
+    n_samples: int = 6,
+    max_new_tokens: int = 64,
+    encoder_name: str | None = None,
+    seed: int = 0,
+) -> float:
+    """Mean score of one Cocktail configuration on one dataset."""
+    vocab = shared_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model(model_name, tokenizer, seed=seed)
+    samples = build_dataset(dataset, n_samples, vocab=vocab, seed=seed)
+    quantizer = build_quantizer(
+        method,
+        vocab=vocab,
+        cocktail_config=cocktail_config,
+        encoder_name=encoder_name,
+        seed=seed,
+    )
+    total = 0.0
+    for sample in samples:
+        score, _ = evaluate_sample(
+            model,
+            tokenizer,
+            sample,
+            quantizer,
+            chunk_size=cocktail_config.chunk_size,
+            max_new_tokens=max_new_tokens,
+        )
+        total += score
+    return total / len(samples)
+
+
+def chunk_size_sweep(
+    chunk_sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    *,
+    model_name: str = "llama2-7b",
+    dataset: str = "qmsum",
+    n_samples: int = 6,
+    max_new_tokens: int = 64,
+    seed: int = 0,
+) -> ResultTable:
+    """Impact of the chunk size on model accuracy (Table III)."""
+    spec = get_dataset_spec(dataset)
+    table = ResultTable(
+        title=f"Impact of chunk size on {spec.display_name} ({spec.metric}) — Table III",
+        row_names=["Cocktail"],
+        column_names=[str(size) for size in chunk_sizes],
+    )
+    for size in chunk_sizes:
+        config = CocktailConfig(chunk_size=size)
+        score = _score_cocktail_variant(
+            model_name=model_name,
+            dataset=dataset,
+            cocktail_config=config,
+            n_samples=n_samples,
+            max_new_tokens=max_new_tokens,
+            seed=seed,
+        )
+        table.set("Cocktail", str(size), score)
+    return table
+
+
+def alpha_beta_sweep(
+    alphas: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    betas: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    *,
+    model_name: str = "llama2-7b",
+    dataset: str = "qmsum",
+    chunk_size: int = 32,
+    n_samples: int = 4,
+    max_new_tokens: int = 64,
+    seed: int = 0,
+) -> ResultTable:
+    """Impact of alpha and beta on model accuracy (Figure 7).
+
+    Rows are alpha values, columns are beta values.
+    """
+    table = ResultTable(
+        title=f"Impact of alpha (rows) and beta (columns) on {dataset} — Figure 7",
+        row_names=[f"alpha={a}" for a in alphas],
+        column_names=[f"beta={b}" for b in betas],
+    )
+    for alpha in alphas:
+        for beta in betas:
+            config = CocktailConfig(chunk_size=chunk_size, alpha=alpha, beta=beta)
+            score = _score_cocktail_variant(
+                model_name=model_name,
+                dataset=dataset,
+                cocktail_config=config,
+                n_samples=n_samples,
+                max_new_tokens=max_new_tokens,
+                seed=seed,
+            )
+            table.set(f"alpha={alpha}", f"beta={beta}", score)
+    return table
+
+
+def encoder_comparison(
+    encoders: Sequence[str] = ENCODER_NAMES,
+    datasets: Sequence[str] = ("qasper", "samsum", "triviaqa", "repobench-p"),
+    *,
+    model_name: str = "llama2-7b",
+    n_samples: int = 6,
+    max_new_tokens: int = 64,
+    chunk_size: int = 32,
+    seed: int = 0,
+    include_baseline: bool = True,
+) -> ResultTable:
+    """Accuracy of Cocktail with different chunk/query encoders (Table IV)."""
+    display = {
+        "ada-002": "ADA-002",
+        "bm25": "BM25",
+        "llm-embedder": "LLM Embedder",
+        "contriever": "Facebook-Contriever",
+    }
+    rows = (["Baseline (FP16)"] if include_baseline else []) + [
+        display.get(e, e) for e in encoders
+    ]
+    columns = [get_dataset_spec(d).display_name for d in datasets]
+    table = ResultTable(
+        title="Encoder comparison on Llama2-7B (Table IV)",
+        row_names=rows,
+        column_names=columns,
+    )
+    runner_datasets = list(datasets)
+    if include_baseline:
+        runner = AccuracyRunner(
+            model_names=[model_name],
+            datasets=runner_datasets,
+            methods=["fp16"],
+            n_samples=n_samples,
+            max_new_tokens=max_new_tokens,
+            chunk_size=chunk_size,
+            seed=seed,
+        )
+        baseline = runner.run().scores[model_name]["fp16"]
+        for dataset in runner_datasets:
+            column = get_dataset_spec(dataset).display_name
+            table.set("Baseline (FP16)", column, baseline[column])
+    for encoder in encoders:
+        config = CocktailConfig(chunk_size=chunk_size, encoder_name=encoder)
+        for dataset in runner_datasets:
+            score = _score_cocktail_variant(
+                model_name=model_name,
+                dataset=dataset,
+                cocktail_config=config,
+                encoder_name=encoder,
+                n_samples=n_samples,
+                max_new_tokens=max_new_tokens,
+                seed=seed,
+            )
+            table.set(display.get(encoder, encoder), get_dataset_spec(dataset).display_name, score)
+    return table
+
+
+def module_ablation(
+    *,
+    model_name: str = "llama2-7b",
+    dataset: str = "qmsum",
+    n_samples: int = 6,
+    max_new_tokens: int = 64,
+    chunk_size: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """Module ablation: accuracy, GPU memory and TPOT (Table V).
+
+    Rows: FP16 baseline, Cocktail without module I (random chunk
+    assignment), Cocktail without module II (no reordering) and full
+    Cocktail.
+    """
+    methods = ["fp16", "cocktail-random-search", "cocktail-no-reorder", "cocktail"]
+    config = CocktailConfig(chunk_size=chunk_size)
+    spec = get_model_spec(model_name)
+    context_len = EFFICIENCY_CONTEXT_LENS.get(model_name, 3600)
+    table = ResultTable(
+        title="Module ablation on QMSum / Llama2-7B (Table V)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=["Score", "GPU Memory (GB)", "TPOT (us)"],
+    )
+    for method in methods:
+        if method == "fp16":
+            score = _score_cocktail_variant(
+                model_name=model_name,
+                dataset=dataset,
+                method="fp16",
+                cocktail_config=config,
+                n_samples=n_samples,
+                max_new_tokens=max_new_tokens,
+                seed=seed,
+            )
+        else:
+            score = _score_cocktail_variant(
+                model_name=model_name,
+                dataset=dataset,
+                method=method,
+                cocktail_config=config,
+                n_samples=n_samples,
+                max_new_tokens=max_new_tokens,
+                seed=seed,
+            )
+        profile = representative_profile(method, chunk_size=chunk_size, seed=seed)
+        memory = gpu_memory_gb(spec, profile, context_len)
+        tpot = tpot_microseconds(spec, A800_80GB, profile, context_len)
+        row = method_display_name(method)
+        table.set(row, "Score", score)
+        table.set(row, "GPU Memory (GB)", memory)
+        table.set(row, "TPOT (us)", tpot)
+    return table

@@ -1,0 +1,195 @@
+"""Accuracy experiments (Table II and Table IV of the paper).
+
+One full-precision prefill is shared across all compared methods for each
+sample (this is also how real KV-cache quantization systems behave: the
+prefill computes at full precision and only the *stored* cache is
+quantized), after which every method quantizes its own clone of the cache
+and decodes greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import KVCacheQuantizer, QuantizationRequest
+from repro.core.config import CocktailConfig
+from repro.datasets.base import LongContextSample
+from repro.datasets.longbench import build_dataset, dataset_names, get_dataset_spec
+from repro.evaluation.report import ResultTable
+from repro.evaluation.setup import (
+    DEFAULT_METHODS,
+    build_model,
+    build_quantizer,
+    build_tokenizer,
+    method_display_name,
+    shared_vocabulary,
+)
+from repro.metrics.registry import compute_metric
+from repro.model.kv_cache import ModelKVCache
+from repro.model.tokenizer import Tokenizer
+from repro.model.transformer import Transformer
+from repro.retrieval.chunking import chunk_words
+
+
+def build_request_for_sample(
+    sample: LongContextSample,
+    chunk_size: int,
+    cache: ModelKVCache | None = None,
+) -> QuantizationRequest:
+    """Chunk a sample's context and package the quantization request."""
+    chunks, tail = chunk_words(list(sample.context_words), chunk_size)
+    return QuantizationRequest(
+        context_len=sample.n_context_tokens,
+        chunk_size=chunk_size,
+        chunk_texts=[chunk.text for chunk in chunks],
+        chunk_spans=[(chunk.start, chunk.end) for chunk in chunks],
+        tail_span=(tail.start, tail.end) if tail is not None else None,
+        query_text=sample.query_text,
+        cache=cache,
+    )
+
+
+def evaluate_sample(
+    model: Transformer,
+    tokenizer: Tokenizer,
+    sample: LongContextSample,
+    quantizer: KVCacheQuantizer,
+    *,
+    chunk_size: int = 32,
+    max_new_tokens: int = 64,
+    prefilled: tuple[ModelKVCache, np.ndarray] | None = None,
+) -> tuple[float, str]:
+    """Score one (sample, method) pair; returns ``(score, prediction)``.
+
+    ``prefilled`` optionally supplies a shared ``(cache, first_logits)`` pair
+    from a previous full-precision prefill of the same sample; the cache is
+    cloned so the caller can reuse it for other methods.
+    """
+    prompt_ids = tokenizer.encode(list(sample.prompt_words))
+    if prefilled is None:
+        cache = model.new_cache()
+        first_logits = model.prefill(prompt_ids, cache)
+        cache.mark_context(sample.n_context_tokens)
+    else:
+        base_cache, first_logits = prefilled
+        cache = base_cache.clone()
+    request = build_request_for_sample(sample, chunk_size, cache)
+    plan = quantizer.plan(request)
+    quantizer.apply(cache, plan)
+    generation = model.generate_from_cache(
+        cache,
+        first_logits,
+        max_new_tokens=max_new_tokens,
+        stop_ids=(tokenizer.eos_id, tokenizer.sep_id),
+    )
+    prediction = tokenizer.decode(generation.token_ids)
+    score = compute_metric(sample.metric, prediction, sample.answer_text)
+    return score, prediction
+
+
+@dataclass
+class AccuracyResult:
+    """Scores of one accuracy experiment."""
+
+    #: ``scores[model][method][dataset]`` -> mean score over samples.
+    scores: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def table_for_model(self, model_name: str, *, with_average: bool = True) -> ResultTable:
+        """Table-II-style table (methods by datasets) for one model."""
+        model_scores = self.scores[model_name]
+        methods = list(model_scores)
+        datasets = list(next(iter(model_scores.values()))) if model_scores else []
+        table = ResultTable(
+            title=f"Accuracy on {model_name}",
+            row_names=[method_display_name(m) for m in methods],
+            column_names=list(datasets),
+        )
+        for method in methods:
+            for dataset in datasets:
+                table.set(
+                    method_display_name(method), dataset, model_scores[method][dataset]
+                )
+        return table.with_average_column() if with_average else table
+
+    def average_score(self, model_name: str, method: str) -> float:
+        """Mean score of one method across datasets for one model."""
+        per_dataset = self.scores[model_name][method]
+        return float(np.mean(list(per_dataset.values())))
+
+
+class AccuracyRunner:
+    """Runs the method-by-dataset accuracy comparison for one or more models."""
+
+    def __init__(
+        self,
+        *,
+        model_names: Sequence[str] = ("llama2-7b",),
+        datasets: Sequence[str] | None = None,
+        methods: Sequence[str] = DEFAULT_METHODS,
+        n_samples: int = 8,
+        max_new_tokens: int = 64,
+        chunk_size: int = 32,
+        cocktail_config: CocktailConfig | None = None,
+        encoder_name: str | None = None,
+        seed: int = 0,
+    ):
+        self.model_names = list(model_names)
+        self.dataset_names = list(datasets) if datasets is not None else dataset_names()
+        self.methods = list(methods)
+        self.n_samples = n_samples
+        self.max_new_tokens = max_new_tokens
+        self.chunk_size = chunk_size
+        self.cocktail_config = cocktail_config or CocktailConfig(chunk_size=chunk_size)
+        self.encoder_name = encoder_name
+        self.seed = seed
+        self.vocab = shared_vocabulary()
+        self.tokenizer = build_tokenizer(self.vocab)
+
+    def _quantizers(self) -> dict[str, KVCacheQuantizer]:
+        return {
+            method: build_quantizer(
+                method,
+                vocab=self.vocab,
+                cocktail_config=self.cocktail_config,
+                encoder_name=self.encoder_name,
+                seed=self.seed,
+            )
+            for method in self.methods
+        }
+
+    def run(self) -> AccuracyResult:
+        """Evaluate every (model, dataset, method) combination."""
+        result = AccuracyResult()
+        quantizers = self._quantizers()
+        for model_name in self.model_names:
+            model = build_model(model_name, self.tokenizer, seed=self.seed)
+            per_method: dict[str, dict[str, float]] = {m: {} for m in self.methods}
+            for dataset_name in self.dataset_names:
+                spec = get_dataset_spec(dataset_name)
+                samples = build_dataset(
+                    dataset_name, self.n_samples, vocab=self.vocab, seed=self.seed
+                )
+                sums = {m: 0.0 for m in self.methods}
+                for sample in samples:
+                    prompt_ids = self.tokenizer.encode(list(sample.prompt_words))
+                    cache = model.new_cache()
+                    first_logits = model.prefill(prompt_ids, cache)
+                    cache.mark_context(sample.n_context_tokens)
+                    for method in self.methods:
+                        score, _ = evaluate_sample(
+                            model,
+                            self.tokenizer,
+                            sample,
+                            quantizers[method],
+                            chunk_size=self.chunk_size,
+                            max_new_tokens=self.max_new_tokens,
+                            prefilled=(cache, first_logits),
+                        )
+                        sums[method] += score
+                for method in self.methods:
+                    per_method[method][spec.display_name] = sums[method] / len(samples)
+            result.scores[model_name] = per_method
+        return result

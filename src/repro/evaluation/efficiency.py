@@ -1,0 +1,169 @@
+"""Efficiency experiments: GPU memory, TPOT and throughput (Figures 4-6).
+
+The hardware model consumes a :class:`~repro.hardware.layout.KVCacheProfile`
+per method.  For the mixed-precision methods (Cocktail, KVQuant and the
+ablation variants) the profile is *measured*: a representative QMSum-style
+request is run through the simulation pipeline and its actual quantization
+plan (bit fractions, ordering, search cost) is what the cost model sees.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.config import CocktailConfig
+from repro.datasets.longbench import build_dataset
+from repro.evaluation.accuracy import build_request_for_sample
+from repro.evaluation.report import ResultTable
+from repro.evaluation.setup import (
+    DEFAULT_METHODS,
+    build_model,
+    build_quantizer,
+    build_tokenizer,
+    method_display_name,
+    shared_vocabulary,
+)
+from repro.hardware.gpu import A800_80GB, GPUSpec
+from repro.hardware.latency import tpot_microseconds
+from repro.hardware.layout import KVCacheProfile
+from repro.hardware.memory import gpu_memory_gb
+from repro.hardware.throughput import throughput_curve
+from repro.model.config import SIM_MODEL_NAMES, get_model_spec
+
+#: Context length (tokens) charged per model in the memory/TPOT experiments —
+#: long-context models are evaluated near their longer windows, matching the
+#: much larger KV caches they carry in the paper's Figure 4/5 setup.
+EFFICIENCY_CONTEXT_LENS: dict[str, int] = {
+    "llama2-7b": 3600,
+    "llama2-13b": 3600,
+    "mistral-7b": 24000,
+    "longchat-7b": 24000,
+}
+
+#: Context length used by the throughput-vs-batch-size experiment (Figure 6).
+THROUGHPUT_CONTEXT_LEN = 2048
+
+
+@lru_cache(maxsize=32)
+def representative_profile(
+    method: str,
+    *,
+    dataset: str = "qmsum",
+    chunk_size: int = 32,
+    alpha: float = 0.6,
+    beta: float = 0.1,
+    seed: int = 0,
+) -> KVCacheProfile:
+    """Measure a method's storage profile on one representative request.
+
+    A QMSum-style sample is prefilled with the Llama2-7B simulation model and
+    the method's :meth:`plan` is executed for real; the resulting bitwidth
+    mix, ordering flag and search latency become the hardware-model profile.
+    """
+    vocab = shared_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model("llama2-7b", tokenizer, seed=seed)
+    sample = build_dataset(dataset, 1, vocab=vocab, seed=seed)[0]
+    cache = model.new_cache()
+    model.prefill(tokenizer.encode(list(sample.prompt_words)), cache)
+    cache.mark_context(sample.n_context_tokens)
+    config = CocktailConfig(chunk_size=chunk_size, alpha=alpha, beta=beta)
+    quantizer = build_quantizer(method, vocab=vocab, cocktail_config=config, seed=seed)
+    request = build_request_for_sample(sample, chunk_size, cache)
+    plan = quantizer.plan(request)
+    return KVCacheProfile.from_plan(plan, chunk_size=chunk_size)
+
+
+def profiles_for_methods(
+    methods: Sequence[str] = DEFAULT_METHODS, **kwargs
+) -> dict[str, KVCacheProfile]:
+    """Representative profiles for a list of methods."""
+    return {method: representative_profile(method, **kwargs) for method in methods}
+
+
+def memory_table(
+    model_names: Sequence[str] = SIM_MODEL_NAMES,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    *,
+    context_lens: dict[str, int] | None = None,
+    output_len: int = 128,
+) -> ResultTable:
+    """GPU memory (GiB) per model and method — the data behind Figure 4."""
+    context_lens = context_lens or EFFICIENCY_CONTEXT_LENS
+    profiles = profiles_for_methods(methods)
+    columns = [get_model_spec(name).display_name for name in model_names]
+    table = ResultTable(
+        title="GPU memory (GB) per model (Figure 4)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=columns,
+    )
+    for model_name in model_names:
+        spec = get_model_spec(model_name)
+        context_len = context_lens.get(model_name, 3600)
+        for method in methods:
+            value = gpu_memory_gb(
+                spec, profiles[method], context_len, output_len=output_len
+            )
+            table.set(method_display_name(method), spec.display_name, value)
+    return table
+
+
+def tpot_table(
+    model_names: Sequence[str] = SIM_MODEL_NAMES,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    *,
+    gpu: GPUSpec = A800_80GB,
+    context_lens: dict[str, int] | None = None,
+    output_len: int = 128,
+) -> ResultTable:
+    """Time per output token (microseconds) — the data behind Figure 5."""
+    context_lens = context_lens or EFFICIENCY_CONTEXT_LENS
+    profiles = profiles_for_methods(methods)
+    columns = [get_model_spec(name).display_name for name in model_names]
+    table = ResultTable(
+        title="Time per output token (us) per model (Figure 5)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=columns,
+    )
+    for model_name in model_names:
+        spec = get_model_spec(model_name)
+        context_len = context_lens.get(model_name, 3600)
+        for method in methods:
+            value = tpot_microseconds(
+                spec, gpu, profiles[method], context_len, output_len=output_len
+            )
+            table.set(method_display_name(method), spec.display_name, value)
+    return table
+
+
+def throughput_table(
+    model_name: str = "llama2-7b",
+    methods: Sequence[str] = DEFAULT_METHODS,
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 200, 300, 400),
+    *,
+    gpu: GPUSpec = A800_80GB,
+    context_len: int = THROUGHPUT_CONTEXT_LEN,
+    output_len: int = 128,
+) -> ResultTable:
+    """Throughput (tokens/s) per method and batch size — Figure 6 (OOM = empty)."""
+    profiles = profiles_for_methods(methods)
+    spec = get_model_spec(model_name)
+    columns = [str(batch) for batch in batch_sizes]
+    table = ResultTable(
+        title=f"Throughput (tokens/s) vs batch size on {spec.display_name} (Figure 6)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=columns,
+    )
+    for method in methods:
+        curve = throughput_curve(
+            spec,
+            gpu,
+            profiles[method],
+            context_len,
+            batch_sizes,
+            output_len=output_len,
+        )
+        for batch, value in zip(batch_sizes, curve):
+            table.set(method_display_name(method), str(batch), value)
+    return table

@@ -1,0 +1,108 @@
+"""Result tables and text rendering for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class ResultTable:
+    """A rows-by-columns table of floats (methods by datasets, etc.).
+
+    Cells may be ``None`` (e.g. out-of-memory points in the throughput
+    experiment).
+    """
+
+    title: str
+    row_names: list[str]
+    column_names: list[str]
+    cells: dict[tuple[str, str], float | None] = field(default_factory=dict)
+
+    def set(self, row: str, column: str, value: float | None) -> None:
+        """Set one cell (row/column must already be declared)."""
+        if row not in self.row_names:
+            raise KeyError(f"unknown row {row!r}")
+        if column not in self.column_names:
+            raise KeyError(f"unknown column {column!r}")
+        self.cells[(row, column)] = value
+
+    def get(self, row: str, column: str) -> float | None:
+        """Read one cell (missing cells read as ``None``)."""
+        return self.cells.get((row, column))
+
+    def row(self, row: str) -> list[float | None]:
+        """All cells of a row, in column order."""
+        return [self.get(row, column) for column in self.column_names]
+
+    def row_average(self, row: str) -> float | None:
+        """Mean of the non-``None`` cells of a row."""
+        values = [v for v in self.row(row) if v is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def with_average_column(self, name: str = "Average") -> "ResultTable":
+        """Return a copy with an extra per-row average column."""
+        table = ResultTable(self.title, list(self.row_names), self.column_names + [name])
+        table.cells = dict(self.cells)
+        for row in self.row_names:
+            table.cells[(row, name)] = self.row_average(row)
+        return table
+
+    # -- rendering -----------------------------------------------------------
+
+    def _formatted_cells(self, precision: int) -> list[list[str]]:
+        rows = []
+        for row in self.row_names:
+            cells = []
+            for column in self.column_names:
+                value = self.get(row, column)
+                cells.append("OOM" if value is None else f"{value:.{precision}f}")
+            rows.append(cells)
+        return rows
+
+    def to_text(self, *, precision: int = 2) -> str:
+        """Fixed-width text rendering (for terminals and logs)."""
+        header = [""] + list(self.column_names)
+        body = [
+            [row] + cells
+            for row, cells in zip(self.row_names, self._formatted_cells(precision))
+        ]
+        widths = [
+            max(len(line[i]) for line in [header] + body) for i in range(len(header))
+        ]
+        lines = [self.title, ""]
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for line in body:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self, *, precision: int = 2) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| | " + " | ".join(self.column_names) + " |")
+        lines.append("|" + "---|" * (len(self.column_names) + 1))
+        for row, cells in zip(self.row_names, self._formatted_cells(precision)):
+            lines.append("| " + row + " | " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (for external plotting)."""
+        lines = ["," + ",".join(self.column_names)]
+        for row in self.row_names:
+            cells = [
+                "" if value is None else repr(float(value)) for value in self.row(row)
+            ]
+            lines.append(row + "," + ",".join(cells))
+        return "\n".join(lines)
+
+
+def format_series(title: str, xs: Iterable[float], ys: Iterable[float | None]) -> str:
+    """Render an (x, y) series as aligned text (for figure-style benches)."""
+    lines = [title]
+    for x, y in zip(xs, ys):
+        y_text = "OOM" if y is None else f"{y:.2f}"
+        lines.append(f"  {x:>10} -> {y_text}")
+    return "\n".join(lines)

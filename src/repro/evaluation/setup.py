@@ -1,0 +1,93 @@
+"""Builders shared by the experiment runners."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.baselines.registry import get_baseline
+from repro.core.config import CocktailConfig
+from repro.core.quantizer import (
+    CocktailQuantizer,
+    NoReorderCocktailQuantizer,
+    RandomSearchCocktailQuantizer,
+)
+from repro.datasets.longbench import build_vocabulary
+from repro.datasets.vocab import Vocabulary
+from repro.model.config import get_sim_config
+from repro.model.tokenizer import Tokenizer
+from repro.model.transformer import Transformer
+from repro.model.weights import build_retrieval_weights
+from repro.retrieval.registry import get_encoder
+
+#: The five methods of Table II, in the paper's row order.
+DEFAULT_METHODS: tuple[str, ...] = ("fp16", "atom", "kivi", "kvquant", "cocktail")
+
+#: Display names used by the reports.
+METHOD_DISPLAY_NAMES: dict[str, str] = {
+    "fp16": "FP16",
+    "atom": "Atom",
+    "kivi": "KIVI",
+    "kvquant": "KVQuant",
+    "cocktail": "Cocktail",
+    "cocktail-random-search": "w/o Module I",
+    "cocktail-no-reorder": "w/o Module II",
+}
+
+
+@lru_cache(maxsize=1)
+def shared_vocabulary() -> Vocabulary:
+    """The vocabulary shared by every dataset and model in a session."""
+    return build_vocabulary()
+
+
+def build_tokenizer(vocab: Vocabulary | None = None) -> Tokenizer:
+    """Tokenizer over the shared synthetic vocabulary."""
+    vocab = vocab or shared_vocabulary()
+    return Tokenizer(vocab.all_words())
+
+
+def build_model(
+    model_name: str,
+    tokenizer: Tokenizer,
+    *,
+    max_seq_len: int = 4096,
+    seed: int = 0,
+) -> Transformer:
+    """Build the constructed-retrieval simulation model for a paper model name."""
+    config = get_sim_config(
+        model_name, tokenizer.vocab_size, max_seq_len=max_seq_len, seed=seed
+    )
+    weights = build_retrieval_weights(config)
+    return Transformer(config, weights)
+
+
+def build_quantizer(
+    method: str,
+    *,
+    vocab: Vocabulary | None = None,
+    cocktail_config: CocktailConfig | None = None,
+    encoder_name: str | None = None,
+    seed: int = 0,
+) -> KVCacheQuantizer:
+    """Instantiate any compared method (baselines, Cocktail, ablation variants)."""
+    key = method.lower()
+    vocab = vocab or shared_vocabulary()
+    if key in ("fp16", "atom", "kivi", "kvquant"):
+        return get_baseline(key)
+    config = cocktail_config or CocktailConfig()
+    if encoder_name is not None:
+        config = config.with_overrides(encoder_name=encoder_name)
+    encoder = get_encoder(config.encoder_name, vocab.lexicon, seed=seed)
+    if key == "cocktail":
+        return CocktailQuantizer(config, encoder, seed=seed)
+    if key in ("cocktail-random-search", "wo-module-1", "without-module-i"):
+        return RandomSearchCocktailQuantizer(config, encoder, seed=seed)
+    if key in ("cocktail-no-reorder", "wo-module-2", "without-module-ii"):
+        return NoReorderCocktailQuantizer(config, encoder, seed=seed)
+    raise KeyError(f"unknown method {method!r}")
+
+
+def method_display_name(method: str) -> str:
+    """Name used in report rows (falls back to the raw name)."""
+    return METHOD_DISPLAY_NAMES.get(method.lower(), method)

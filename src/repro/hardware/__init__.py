@@ -1,0 +1,48 @@
+"""Analytic GPU cost model.
+
+The paper's efficiency results (GPU memory in Figure 4, time-per-output-token
+in Figure 5, throughput/OOM behaviour in Figure 6 and the ablation rows of
+Table V) are measured on an NVIDIA A800.  Offline, those quantities are
+reproduced with an explicit first-principles cost model:
+
+* **memory** — model weights + KV-cache bytes under the method's storage
+  layout (packed contiguous precision groups, sparse-outlier, or the
+  unpacked interleaved layout a non-reordered mixed-precision cache forces),
+* **latency (TPOT)** — HBM traffic for weights and KV cache per decode step
+  (with a framework reuse factor for unfused attention), dequantization
+  overhead, cache-line misalignment penalties for interleaved layouts, and
+  compute time,
+* **throughput** — batched decode rate including the per-request
+  quantization-search latency and out-of-memory cut-offs.
+
+Absolute numbers are not expected to match the paper's testbed; the
+*orderings and crossovers* are (see EXPERIMENTS.md).
+"""
+
+from repro.hardware.gpu import A100_40GB, A800_80GB, GPUSpec
+from repro.hardware.layout import KVCacheProfile, LayoutKind
+from repro.hardware.memory import (
+    gpu_memory_bytes,
+    gpu_memory_gb,
+    kv_cache_bytes,
+    kv_cache_bytes_per_token,
+)
+from repro.hardware.latency import search_latency_seconds, tpot_seconds
+from repro.hardware.throughput import max_batch_size, throughput_curve, throughput_tokens_per_second
+
+__all__ = [
+    "GPUSpec",
+    "A800_80GB",
+    "A100_40GB",
+    "KVCacheProfile",
+    "LayoutKind",
+    "kv_cache_bytes_per_token",
+    "kv_cache_bytes",
+    "gpu_memory_bytes",
+    "gpu_memory_gb",
+    "tpot_seconds",
+    "search_latency_seconds",
+    "max_batch_size",
+    "throughput_tokens_per_second",
+    "throughput_curve",
+]

@@ -1,0 +1,134 @@
+"""Decode latency model: time per output token (Figure 5, Table V)."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.layout import KVCacheProfile, LayoutKind
+from repro.hardware.memory import kv_cache_bytes_per_token
+from repro.model.config import ModelSpec
+from repro.quant.dtypes import BitWidth
+
+#: Extra cache-line traffic multiplier for KV reads when precision regions
+#: interleave (misaligned sub-byte segments straddle cache lines).
+_MISALIGN_PENALTY = {
+    LayoutKind.PACKED: 1.0,
+    LayoutKind.SPARSE_OUTLIER: 1.25,
+    LayoutKind.UNPACKED_MIXED: 1.4,
+}
+
+#: Host/GPU-side latency model of the Cocktail chunk-level search.  The
+#: encoder pipeline (loading the encoder, tokenising the chunks, kernel
+#: launches) costs a fixed amount per *batch* of requests, while the marginal
+#: per-chunk encoding cost is tiny once batched — this is why the paper
+#: observes that the search limits throughput only at small batch sizes.
+_CHUNK_SEARCH_FIXED_S = 0.12
+_CHUNK_SEARCH_PER_CHUNK_S = 2.0e-5
+
+#: Token-level quantization search cost (KVQuant-style): per token per layer,
+#: charged per request (the scan is proportional to each request's cache).
+_TOKEN_SEARCH_PER_TOKEN_LAYER_S = 2.0e-6
+
+
+def search_fixed_seconds(profile: KVCacheProfile) -> float:
+    """Per-batch fixed latency of the method's quantization search."""
+    method = profile.method.lower()
+    if method.startswith("cocktail") and "random" not in method:
+        return _CHUNK_SEARCH_FIXED_S
+    return 0.0
+
+
+def search_latency_seconds(
+    profile: KVCacheProfile, spec: ModelSpec, context_len: int
+) -> float:
+    """Per-request (marginal) latency of the method's quantization search.
+
+    Uniform methods search nothing; Cocktail encodes each request's chunks
+    (cheap once batched — the fixed pipeline cost is reported separately by
+    :func:`search_fixed_seconds`); token-level mixed precision (KVQuant)
+    scans every token of every layer of each request.
+    """
+    method = profile.method.lower()
+    if method.startswith("cocktail"):
+        if "random" in method:
+            return 0.0  # the ablation skips the search entirely
+        n_chunks = max(1, context_len // max(profile.chunk_size, 1))
+        return n_chunks * _CHUNK_SEARCH_PER_CHUNK_S
+    if method == "kvquant":
+        return _TOKEN_SEARCH_PER_TOKEN_LAYER_S * context_len * spec.n_layers
+    return 0.0
+
+
+def kv_read_seconds(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+) -> float:
+    """Time to stream the KV cache of one request during one decode step."""
+    context_bytes = context_len * kv_cache_bytes_per_token(spec, profile)
+    # Generated tokens are kept at FP16; on average half the output is cached.
+    output_bytes = (output_len / 2) * spec.kv_bytes_per_token(BitWidth.FP16)
+    bytes_moved = (context_bytes + output_bytes) * gpu.kv_reuse_factor
+    bytes_moved *= _MISALIGN_PENALTY[profile.layout]
+    dequant_elements = (
+        profile.quantized_fraction * context_len * spec.kv_elements_per_token()
+    )
+    dequant_seconds = dequant_elements * gpu.dequant_ns_per_element * 1e-9
+    return bytes_moved / gpu.hbm_bandwidth_bytes_per_s + dequant_seconds
+
+
+def weight_read_seconds(spec: ModelSpec, gpu: GPUSpec) -> float:
+    """Time to stream the model weights once (shared across the batch)."""
+    return spec.weight_bytes() / gpu.hbm_bandwidth_bytes_per_s
+
+
+def compute_seconds(spec: ModelSpec, gpu: GPUSpec) -> float:
+    """FLOP time of one decode step for one request (usually negligible)."""
+    flops = 2.0 * spec.n_parameters
+    return flops / (gpu.fp16_tflops * 1e12)
+
+
+def tpot_seconds(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+    batch_size: int = 1,
+    include_search: bool = False,
+) -> float:
+    """Time per output token for a batch of identical requests.
+
+    Weights are read once per step and shared across the batch; KV traffic
+    and compute scale with the batch size.  The quantization-search latency
+    is charged per request and amortised over the output length when
+    ``include_search`` is true (the throughput model always includes it).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    per_step = (
+        gpu.framework_overhead_s
+        + weight_read_seconds(spec, gpu)
+        + batch_size
+        * (
+            kv_read_seconds(spec, gpu, profile, context_len, output_len=output_len)
+            + compute_seconds(spec, gpu)
+        )
+    )
+    if include_search and output_len > 0:
+        per_step += batch_size * search_latency_seconds(profile, spec, context_len) / output_len
+    return per_step
+
+
+def tpot_microseconds(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    **kwargs,
+) -> float:
+    """Same as :func:`tpot_seconds` but in microseconds (the paper's Table V unit)."""
+    return tpot_seconds(spec, gpu, profile, context_len, **kwargs) * 1e6

@@ -1,0 +1,110 @@
+"""GPU memory model (Figure 4 and the memory column of Table V)."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GiB, GPUSpec
+from repro.hardware.layout import KVCacheProfile, LayoutKind
+from repro.model.config import ModelSpec
+from repro.quant.dtypes import BitWidth
+
+#: Bytes of quantization metadata per (token, head, tensor) group: one FP16
+#: scale plus one FP16 zero point.
+_METADATA_BYTES_PER_GROUP = 4
+
+#: Fraction of the weight footprint reserved for activations, workspace and
+#: framework buffers.
+_ACTIVATION_OVERHEAD_FRACTION = 0.06
+
+#: Extra fragmentation/bookkeeping overhead of the unpacked interleaved
+#: layout (per-chunk index tables, allocator padding).
+_UNPACKED_FRAGMENTATION = 0.15
+
+
+def _metadata_bytes_per_token(spec: ModelSpec, quantized_fraction: float) -> float:
+    """Scale/zero-point bytes per token for the quantized share of the cache."""
+    groups_per_token = 2 * spec.n_layers * spec.n_kv_heads  # K and V, one group per head
+    return quantized_fraction * groups_per_token * _METADATA_BYTES_PER_GROUP
+
+
+def kv_cache_bytes_per_token(spec: ModelSpec, profile: KVCacheProfile) -> float:
+    """Average stored bytes per context token under a method's layout."""
+    elements = spec.kv_elements_per_token()
+    if profile.layout is LayoutKind.UNPACKED_MIXED:
+        # Interleaved precisions cannot be bit-packed: every element occupies
+        # a full FP16-wide slot, quantization metadata is still stored, and
+        # fragmentation/bookkeeping overhead is added on top.
+        payload = elements * int(BitWidth.FP16) / 8
+        metadata = _metadata_bytes_per_token(spec, profile.quantized_fraction)
+        return (payload + metadata) * (1.0 + _UNPACKED_FRAGMENTATION)
+
+    payload = elements * profile.mean_bits / 8
+    metadata = _metadata_bytes_per_token(spec, profile.quantized_fraction)
+    if profile.layout is LayoutKind.SPARSE_OUTLIER:
+        # Sparse FP16 outliers need an index per outlier token.
+        outlier_fraction = profile.bit_fractions.get(BitWidth.FP16, 0.0)
+        metadata += outlier_fraction * spec.n_layers * spec.n_kv_heads * 4
+    return payload + metadata
+
+
+def kv_cache_bytes(
+    spec: ModelSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+) -> float:
+    """KV-cache bytes of one request: quantized context plus FP16 output tokens."""
+    if context_len < 0 or output_len < 0:
+        raise ValueError("context_len and output_len must be >= 0")
+    context_bytes = context_len * kv_cache_bytes_per_token(spec, profile)
+    output_bytes = output_len * spec.kv_bytes_per_token(BitWidth.FP16)
+    return context_bytes + output_bytes
+
+
+def gpu_memory_bytes(
+    spec: ModelSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+    batch_size: int = 1,
+) -> float:
+    """Total GPU memory of serving ``batch_size`` requests."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    weights = spec.weight_bytes()
+    activations = _ACTIVATION_OVERHEAD_FRACTION * weights
+    kv_total = batch_size * kv_cache_bytes(
+        spec, profile, context_len, output_len=output_len
+    )
+    return weights + activations + kv_total
+
+
+def gpu_memory_gb(
+    spec: ModelSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+    batch_size: int = 1,
+) -> float:
+    """Same as :func:`gpu_memory_bytes` but in GiB."""
+    return gpu_memory_bytes(
+        spec, profile, context_len, output_len=output_len, batch_size=batch_size
+    ) / GiB
+
+
+def fits_in_memory(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+    batch_size: int = 1,
+) -> bool:
+    """Whether the working set fits in the GPU's HBM (no OOM)."""
+    required = gpu_memory_bytes(
+        spec, profile, context_len, output_len=output_len, batch_size=batch_size
+    )
+    return required <= gpu.memory_bytes

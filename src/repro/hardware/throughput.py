@@ -1,0 +1,93 @@
+"""Batched decode throughput model (Figure 6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.latency import (
+    search_fixed_seconds,
+    search_latency_seconds,
+    tpot_seconds,
+)
+from repro.hardware.layout import KVCacheProfile
+from repro.hardware.memory import fits_in_memory
+from repro.model.config import ModelSpec
+
+
+def max_batch_size(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    *,
+    output_len: int = 128,
+    limit: int = 4096,
+) -> int:
+    """Largest batch size that fits in GPU memory (0 if even batch 1 OOMs)."""
+    low, high = 0, limit
+    while low < high:
+        mid = (low + high + 1) // 2
+        if fits_in_memory(
+            spec, gpu, profile, context_len, output_len=output_len, batch_size=mid
+        ):
+            low = mid
+        else:
+            high = mid - 1
+    return low
+
+
+def throughput_tokens_per_second(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    batch_size: int,
+    *,
+    output_len: int = 128,
+) -> float | None:
+    """Generation throughput for a batch, or ``None`` on out-of-memory.
+
+    A batch of ``batch_size`` requests each produces ``output_len`` tokens;
+    the total time is the quantization-search latency (a fixed per-batch
+    pipeline cost plus a per-request marginal cost) followed by
+    ``output_len`` decode steps over the batch.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    if not fits_in_memory(
+        spec, gpu, profile, context_len, output_len=output_len, batch_size=batch_size
+    ):
+        return None
+    step = tpot_seconds(
+        spec,
+        gpu,
+        profile,
+        context_len,
+        output_len=output_len,
+        batch_size=batch_size,
+        include_search=False,
+    )
+    search_total = search_fixed_seconds(profile) + batch_size * search_latency_seconds(
+        profile, spec, context_len
+    )
+    total_time = search_total + output_len * step
+    return batch_size * output_len / total_time
+
+
+def throughput_curve(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    profile: KVCacheProfile,
+    context_len: int,
+    batch_sizes: Sequence[int],
+    *,
+    output_len: int = 128,
+) -> list[float | None]:
+    """Throughput at each batch size (``None`` marks the OOM region)."""
+    return [
+        throughput_tokens_per_second(
+            spec, gpu, profile, context_len, batch, output_len=output_len
+        )
+        for batch in batch_sizes
+    ]

@@ -1,0 +1,28 @@
+"""Evaluation metrics (Table I of the paper).
+
+All metrics return scores on a ``[0, 100]`` scale, higher is better:
+
+* :func:`token_f1` — SQuAD-style token-overlap F1 (Qasper, TriviaQA),
+* :func:`rouge_l` / :func:`rouge_n` — ROUGE scores (QMSum, MultiNews, SAMSum),
+* :func:`classification_score` — exact-match accuracy (TREC),
+* :func:`edit_similarity` — Levenshtein similarity over tokens (LCC,
+  RepoBench-P).
+"""
+
+from repro.metrics.classification import classification_score
+from repro.metrics.code_similarity import edit_similarity
+from repro.metrics.f1 import token_f1
+from repro.metrics.registry import METRIC_NAMES, compute_metric, metric_for_dataset
+from repro.metrics.rouge import rouge_l, rouge_n, rouge_score
+
+__all__ = [
+    "token_f1",
+    "rouge_n",
+    "rouge_l",
+    "rouge_score",
+    "classification_score",
+    "edit_similarity",
+    "METRIC_NAMES",
+    "compute_metric",
+    "metric_for_dataset",
+]

@@ -1,0 +1,18 @@
+"""Exact-match classification accuracy (TREC)."""
+
+from __future__ import annotations
+
+
+def classification_score(prediction: str, reference: str) -> float:
+    """100 if the first predicted word equals the reference label, else 0.
+
+    Few-shot classification with a generative model is scored on the first
+    emitted label token; trailing generation is ignored.
+    """
+    pred_tokens = prediction.lower().split()
+    ref_tokens = reference.lower().split()
+    if not ref_tokens:
+        return 100.0 if not pred_tokens else 0.0
+    if not pred_tokens:
+        return 0.0
+    return 100.0 if pred_tokens[0] == ref_tokens[0] else 0.0

@@ -1,0 +1,34 @@
+"""Edit-distance similarity for code completion tasks (LCC, RepoBench-P)."""
+
+from __future__ import annotations
+
+
+def _levenshtein(a: list[str], b: list[str]) -> int:
+    """Token-level Levenshtein distance."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, token_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, token_b in enumerate(b, start=1):
+            cost = 0 if token_a == token_b else 1
+            current[j] = min(
+                previous[j] + 1,  # deletion
+                current[j - 1] + 1,  # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(prediction: str, reference: str) -> float:
+    """Normalised token-level edit similarity in ``[0, 100]``."""
+    pred = prediction.split()
+    ref = reference.split()
+    if not pred and not ref:
+        return 100.0
+    longest = max(len(pred), len(ref))
+    distance = _levenshtein(pred, ref)
+    return 100.0 * (1.0 - distance / longest)

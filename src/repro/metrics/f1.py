@@ -1,0 +1,30 @@
+"""SQuAD-style token-overlap F1."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def _tokens(text: str) -> list[str]:
+    return text.lower().split()
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """Token-overlap F1 between a prediction and a reference, in ``[0, 100]``.
+
+    Both strings are lower-cased and whitespace-tokenised; overlap is counted
+    with multiplicity (the SQuAD convention).
+    """
+    pred_tokens = _tokens(prediction)
+    ref_tokens = _tokens(reference)
+    if not pred_tokens and not ref_tokens:
+        return 100.0
+    if not pred_tokens or not ref_tokens:
+        return 0.0
+    common = Counter(pred_tokens) & Counter(ref_tokens)
+    n_common = sum(common.values())
+    if n_common == 0:
+        return 0.0
+    precision = n_common / len(pred_tokens)
+    recall = n_common / len(ref_tokens)
+    return 100.0 * 2 * precision * recall / (precision + recall)

@@ -1,0 +1,36 @@
+"""Metric registry: maps Table-I metric keys to scoring functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.metrics.classification import classification_score
+from repro.metrics.code_similarity import edit_similarity
+from repro.metrics.f1 import token_f1
+from repro.metrics.rouge import rouge_score
+
+_METRICS: dict[str, Callable[[str, str], float]] = {
+    "f1": token_f1,
+    "rouge": rouge_score,
+    "classification": classification_score,
+    "code_sim": edit_similarity,
+}
+
+#: Known metric keys.
+METRIC_NAMES: tuple[str, ...] = tuple(_METRICS)
+
+
+def compute_metric(metric: str, prediction: str, reference: str) -> float:
+    """Score ``prediction`` against ``reference`` with the named metric."""
+    try:
+        func = _METRICS[metric]
+    except KeyError as exc:
+        raise KeyError(f"unknown metric {metric!r}; known: {list(_METRICS)}") from exc
+    return float(func(prediction, reference))
+
+
+def metric_for_dataset(dataset_metric: str) -> Callable[[str, str], float]:
+    """Return the scoring callable for a dataset's metric key."""
+    if dataset_metric not in _METRICS:
+        raise KeyError(f"unknown metric {dataset_metric!r}; known: {list(_METRICS)}")
+    return _METRICS[dataset_metric]

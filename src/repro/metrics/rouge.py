@@ -1,0 +1,72 @@
+"""ROUGE-N and ROUGE-L metrics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def _tokens(text: str) -> list[str]:
+    return text.lower().split()
+
+
+def _ngrams(tokens: list[str], n: int) -> Counter:
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def rouge_n(prediction: str, reference: str, n: int = 1) -> float:
+    """ROUGE-N F1 score in ``[0, 100]``."""
+    pred = _ngrams(_tokens(prediction), n)
+    ref = _ngrams(_tokens(reference), n)
+    if not pred and not ref:
+        return 100.0
+    if not pred or not ref:
+        return 0.0
+    overlap = sum((pred & ref).values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / sum(pred.values())
+    recall = overlap / sum(ref.values())
+    return 100.0 * 2 * precision * recall / (precision + recall)
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    """Length of the longest common subsequence (O(len(a) * len(b)))."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0] * (len(b) + 1)
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(prediction: str, reference: str) -> float:
+    """ROUGE-L F1 score (longest common subsequence based), in ``[0, 100]``."""
+    pred = _tokens(prediction)
+    ref = _tokens(reference)
+    if not pred and not ref:
+        return 100.0
+    if not pred or not ref:
+        return 0.0
+    lcs = _lcs_length(pred, ref)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(pred)
+    recall = lcs / len(ref)
+    return 100.0 * 2 * precision * recall / (precision + recall)
+
+
+def rouge_score(prediction: str, reference: str) -> float:
+    """Aggregate ROUGE score: the mean of ROUGE-1, ROUGE-2 and ROUGE-L F1."""
+    return (
+        rouge_n(prediction, reference, 1)
+        + rouge_n(prediction, reference, 2)
+        + rouge_l(prediction, reference)
+    ) / 3.0

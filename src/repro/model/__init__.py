@@ -1,0 +1,46 @@
+"""LLM inference substrate.
+
+A pure-NumPy, single-sequence decoder-only transformer with:
+
+* prefill + decode phases and a dense per-layer KV cache,
+* multi-head attention with optional grouped-query attention (GQA),
+* RoPE or table positional encodings,
+* SwiGLU MLP blocks and optional RMSNorm,
+* greedy / top-k sampling,
+* **constructed retrieval weights** (:mod:`repro.model.weights`): a
+  hand-built previous-token head + induction head that performs associative
+  recall of facts planted in the context.  This makes downstream task
+  accuracy a genuine function of KV-cache fidelity, which is the mechanism
+  the paper's chunk-level quantization search exploits.
+"""
+
+from repro.model.config import (
+    MODEL_SPECS,
+    SIM_MODEL_NAMES,
+    ModelConfig,
+    ModelSpec,
+    RetrievalLayout,
+    get_model_spec,
+    get_sim_config,
+)
+from repro.model.kv_cache import LayerKVCache, ModelKVCache
+from repro.model.tokenizer import SpecialTokens, Tokenizer
+from repro.model.transformer import Transformer
+from repro.model.weights import build_random_weights, build_retrieval_weights
+
+__all__ = [
+    "ModelConfig",
+    "ModelSpec",
+    "RetrievalLayout",
+    "MODEL_SPECS",
+    "SIM_MODEL_NAMES",
+    "get_model_spec",
+    "get_sim_config",
+    "LayerKVCache",
+    "ModelKVCache",
+    "Tokenizer",
+    "SpecialTokens",
+    "Transformer",
+    "build_random_weights",
+    "build_retrieval_weights",
+]

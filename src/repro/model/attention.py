@@ -1,0 +1,151 @@
+"""Multi-head attention with KV caching.
+
+Supports grouped-query attention (GQA), causal masking, RoPE or table
+positional encodings, prefill over a block of tokens and single-token decode
+against a :class:`~repro.model.kv_cache.LayerKVCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.kv_cache import LayerKVCache
+from repro.model.positional import apply_rope
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    x = np.asarray(x, dtype=np.float32)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+@dataclass(frozen=True)
+class AttentionWeights:
+    """Projection weights of one attention layer.
+
+    Shapes: ``wq`` ``(n_heads, d_model, head_dim)``, ``wk``/``wv``
+    ``(n_kv_heads, d_model, head_dim)``, ``wo`` ``(n_heads, head_dim,
+    d_model)``.
+    """
+
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+
+
+class AttentionLayer:
+    """One causal self-attention layer operating on a single sequence."""
+
+    def __init__(self, weights: AttentionWeights, config: ModelConfig):
+        self.weights = weights
+        self.config = config
+        self._scale = config.attention_temperature / np.sqrt(config.head_dim)
+
+    @staticmethod
+    def _project(hidden: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Apply a per-head projection ``(n_heads, d_model, head_dim)`` via one GEMM."""
+        n_heads, d_model, head_dim = weight.shape
+        flat = hidden @ weight.transpose(1, 0, 2).reshape(d_model, n_heads * head_dim)
+        return flat.reshape(hidden.shape[0], n_heads, head_dim)
+
+    def project_q(self, hidden: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Project hidden states to per-head queries ``(n, n_heads, head_dim)``."""
+        q = self._project(hidden, self.weights.wq)
+        if self.config.positional == "rope":
+            q = apply_rope(q, positions, self.config.rope_theta)
+        return q.astype(np.float32)
+
+    def project_kv(
+        self, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project hidden states to keys/values ``(n, n_kv_heads, head_dim)``."""
+        k = self._project(hidden, self.weights.wk)
+        v = self._project(hidden, self.weights.wv)
+        if self.config.positional == "rope":
+            k = apply_rope(k, positions, self.config.rope_theta)
+        return k.astype(np.float32), v.astype(np.float32)
+
+    def _expand_kv_heads(self, kv: np.ndarray) -> np.ndarray:
+        """Repeat KV heads to match the number of query heads (GQA)."""
+        group = self.config.gqa_group
+        if group == 1:
+            return kv
+        return np.repeat(kv, group, axis=1)
+
+    def attend(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        query_positions: np.ndarray,
+    ) -> np.ndarray:
+        """Causal attention of queries against cached keys/values.
+
+        Parameters
+        ----------
+        q:
+            ``(n_q, n_heads, head_dim)`` queries.
+        keys, values:
+            ``(n_kv, n_kv_heads, head_dim)`` cached keys and values.
+        query_positions:
+            Global position of each query; a query at position ``p`` may
+            attend to cache rows ``0..p`` inclusive.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_q, d_model)`` attention output (after the output projection).
+        """
+        keys_full = self._expand_kv_heads(keys)
+        values_full = self._expand_kv_heads(values)
+        # (n_heads, n_q, n_kv) logits via per-head GEMMs.
+        q_heads = np.ascontiguousarray(q.transpose(1, 0, 2))
+        k_heads = np.ascontiguousarray(keys_full.transpose(1, 2, 0))
+        logits = (q_heads @ k_heads) * self._scale
+        n_kv = keys_full.shape[0]
+        key_positions = np.arange(n_kv)
+        mask = key_positions[None, :] > np.asarray(query_positions)[:, None]
+        logits = np.where(mask[None, :, :], np.float32(-1e9), logits)
+        probs = softmax(logits, axis=-1)
+        v_heads = np.ascontiguousarray(values_full.transpose(1, 0, 2))
+        context = probs @ v_heads  # (n_heads, n_q, head_dim)
+        n_heads, n_q, head_dim = context.shape
+        # Output projection: concatenate heads and apply one GEMM.
+        context_flat = context.transpose(1, 0, 2).reshape(n_q, n_heads * head_dim)
+        wo_flat = self.weights.wo.reshape(n_heads * head_dim, -1)
+        return (context_flat @ wo_flat).astype(np.float32)
+
+    def forward_prefill(
+        self, hidden: np.ndarray, cache: LayerKVCache, positions: np.ndarray
+    ) -> np.ndarray:
+        """Process a block of tokens, appending their K/V to ``cache``."""
+        q = self.project_q(hidden, positions)
+        k, v = self.project_kv(hidden, positions)
+        cache.append(k, v)
+        return self.attend(q, cache.keys(), cache.values(), positions)
+
+    def forward_decode(
+        self, hidden: np.ndarray, cache: LayerKVCache, position: int
+    ) -> np.ndarray:
+        """Process a single token at ``position``, appending its K/V to ``cache``."""
+        positions = np.asarray([position])
+        q = self.project_q(hidden, positions)
+        k, v = self.project_kv(hidden, positions)
+        cache.append(k, v)
+        return self.attend(q, cache.keys(), cache.values(), positions)
+
+    def attend_with_external_kv(
+        self,
+        q: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        query_positions: np.ndarray,
+    ) -> np.ndarray:
+        """Attention against caller-provided K/V (used by the Cocktail blockwise path)."""
+        return self.attend(q, keys, values, query_positions)

@@ -1,0 +1,282 @@
+"""Model configurations.
+
+Two kinds of configuration live here:
+
+* :class:`ModelConfig` — the architecture of the *simulation* model actually
+  executed by the NumPy substrate (small widths, constructed retrieval
+  weights).  One preset per paper model, differing in depth, noise level and
+  context window so that model-to-model score variation appears in Table II.
+* :class:`ModelSpec` — the *paper-scale* architecture (Llama2-7B/13B,
+  Mistral-7B, Longchat-7B) used only by the analytic hardware model for
+  memory / latency / throughput accounting (Figures 4-6, Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.quant.dtypes import BitWidth
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RetrievalLayout:
+    """Residual-stream subspace layout used by the constructed weights.
+
+    The residual stream is partitioned into non-overlapping subspaces:
+
+    ``tok``      token-identity embedding of the current token,
+    ``prev``     token-identity embedding of the *previous* token (written by
+                 the layer-0 previous-token head),
+    ``out``      retrieved-token embedding (written by the layer-1 induction
+                 head and read by the unembedding),
+    ``pos``      positional code of the current position,
+    ``pos_next`` positional code of the *next* position (read by the
+                 previous-token head's key projection).
+    """
+
+    d_tok: int = 32
+    d_pos: int = 32
+
+    @property
+    def d_model(self) -> int:
+        """Total residual width implied by the layout."""
+        return 3 * self.d_tok + 2 * self.d_pos
+
+    @property
+    def tok_slice(self) -> slice:
+        return slice(0, self.d_tok)
+
+    @property
+    def prev_slice(self) -> slice:
+        return slice(self.d_tok, 2 * self.d_tok)
+
+    @property
+    def out_slice(self) -> slice:
+        return slice(2 * self.d_tok, 3 * self.d_tok)
+
+    @property
+    def pos_slice(self) -> slice:
+        return slice(3 * self.d_tok, 3 * self.d_tok + self.d_pos)
+
+    @property
+    def pos_next_slice(self) -> slice:
+        return slice(3 * self.d_tok + self.d_pos, 3 * self.d_tok + 2 * self.d_pos)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of the executed NumPy simulation model."""
+
+    name: str
+    vocab_size: int
+    d_model: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    max_seq_len: int
+    positional: str = "table"  # "table", "rope" or "none"
+    rope_theta: float = 10000.0
+    use_rmsnorm: bool = False
+    attention_temperature: float = 1.0
+    noise_scale: float = 0.0
+    retrieval_layout: RetrievalLayout | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("vocab_size", self.vocab_size)
+        check_positive("d_model", self.d_model)
+        check_positive("n_layers", self.n_layers)
+        check_positive("n_heads", self.n_heads)
+        check_positive("n_kv_heads", self.n_kv_heads)
+        check_positive("d_ff", self.d_ff)
+        check_positive("max_seq_len", self.max_seq_len)
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} must be divisible by n_heads={self.n_heads}"
+            )
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"n_heads={self.n_heads} must be divisible by n_kv_heads={self.n_kv_heads}"
+            )
+        if self.positional not in ("table", "rope", "none"):
+            raise ValueError(f"unknown positional mode {self.positional!r}")
+        if self.retrieval_layout is not None:
+            layout = self.retrieval_layout
+            if layout.d_model != self.d_model:
+                raise ValueError(
+                    f"retrieval layout needs d_model={layout.d_model}, got {self.d_model}"
+                )
+            if self.head_dim < max(layout.d_tok, layout.d_pos):
+                raise ValueError(
+                    "head_dim must be at least as large as the retrieval subspaces"
+                )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.n_heads
+
+    @property
+    def gqa_group(self) -> int:
+        """Number of query heads sharing one KV head."""
+        return self.n_heads // self.n_kv_heads
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Paper-scale architecture used by the analytic hardware model."""
+
+    name: str
+    display_name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    vocab_size: int
+    max_context: int
+    weight_bits: int = 16
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def n_parameters(self) -> int:
+        """Approximate parameter count (embeddings + blocks + LM head)."""
+        embed = self.vocab_size * self.d_model * 2  # tied or untied; count both
+        per_layer_attn = self.d_model * (
+            self.n_heads * self.head_dim  # W_Q
+            + 2 * self.n_kv_heads * self.head_dim  # W_K, W_V
+            + self.n_heads * self.head_dim  # W_O (transposed)
+        )
+        per_layer_mlp = 3 * self.d_model * self.d_ff  # SwiGLU gate/up/down
+        per_layer_norm = 2 * self.d_model
+        return embed + self.n_layers * (per_layer_attn + per_layer_mlp + per_layer_norm)
+
+    def weight_bytes(self) -> int:
+        """Bytes needed to hold the model weights at ``weight_bits``."""
+        return self.n_parameters * self.weight_bits // 8
+
+    def kv_elements_per_token(self) -> int:
+        """Number of K plus V elements cached per token across all layers."""
+        return 2 * self.n_layers * self.n_kv_heads * self.head_dim
+
+    def kv_bytes_per_token(self, bits: BitWidth | int = BitWidth.FP16) -> int:
+        """Payload bytes of cached KV per token at a uniform bitwidth."""
+        return self.kv_elements_per_token() * int(bits) // 8
+
+
+#: Paper-scale specs for the four evaluated models (Table II, Figures 4-6).
+MODEL_SPECS: dict[str, ModelSpec] = {
+    "llama2-7b": ModelSpec(
+        name="llama2-7b",
+        display_name="Llama2-7B",
+        n_layers=32,
+        d_model=4096,
+        n_heads=32,
+        n_kv_heads=32,
+        d_ff=11008,
+        vocab_size=32000,
+        max_context=4096,
+    ),
+    "llama2-13b": ModelSpec(
+        name="llama2-13b",
+        display_name="Llama2-13B",
+        n_layers=40,
+        d_model=5120,
+        n_heads=40,
+        n_kv_heads=40,
+        d_ff=13824,
+        vocab_size=32000,
+        max_context=4096,
+    ),
+    "mistral-7b": ModelSpec(
+        name="mistral-7b",
+        display_name="Mistral-7B",
+        n_layers=32,
+        d_model=4096,
+        n_heads=32,
+        n_kv_heads=8,
+        d_ff=14336,
+        vocab_size=32000,
+        max_context=32768,
+    ),
+    "longchat-7b": ModelSpec(
+        name="longchat-7b",
+        display_name="Longchat-7B",
+        n_layers=32,
+        d_model=4096,
+        n_heads=32,
+        n_kv_heads=32,
+        d_ff=11008,
+        vocab_size=32000,
+        max_context=32768,
+    ),
+}
+
+#: Names of the four simulated models, in the paper's presentation order.
+SIM_MODEL_NAMES: tuple[str, ...] = tuple(MODEL_SPECS)
+
+_DEFAULT_LAYOUT = RetrievalLayout(d_tok=64, d_pos=32)
+
+#: Per-model simulation knobs: (extra noise layers, noise scale, seed offset).
+_SIM_VARIANTS: dict[str, tuple[int, float, int]] = {
+    "llama2-7b": (2, 0.015, 0),
+    "llama2-13b": (3, 0.010, 1),
+    "mistral-7b": (2, 0.020, 2),
+    "longchat-7b": (2, 0.025, 3),
+}
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Return the paper-scale :class:`ModelSpec` for ``name``."""
+    try:
+        return MODEL_SPECS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_SPECS)}") from exc
+
+
+def get_sim_config(
+    name: str,
+    vocab_size: int,
+    *,
+    max_seq_len: int = 4096,
+    seed: int = 0,
+) -> ModelConfig:
+    """Return the simulation :class:`ModelConfig` for a paper model.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SIM_MODEL_NAMES`.
+    vocab_size:
+        Vocabulary size of the tokenizer the model will be paired with.
+    max_seq_len:
+        Maximum sequence length (context + generated tokens).
+    seed:
+        Base seed; combined with a per-model offset so the four models have
+        distinct (but deterministic) noise heads and embeddings.
+    """
+    if name not in _SIM_VARIANTS:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_SIM_VARIANTS)}")
+    extra_layers, noise_scale, seed_offset = _SIM_VARIANTS[name]
+    layout = _DEFAULT_LAYOUT
+    return ModelConfig(
+        name=name,
+        vocab_size=vocab_size,
+        d_model=layout.d_model,
+        n_layers=2 + extra_layers,
+        n_heads=4,
+        n_kv_heads=4,
+        d_ff=2 * layout.d_model,
+        max_seq_len=max_seq_len,
+        positional="table",
+        use_rmsnorm=False,
+        attention_temperature=1.0,
+        noise_scale=noise_scale,
+        retrieval_layout=layout,
+        seed=seed + seed_offset,
+    )

@@ -1,0 +1,57 @@
+"""SwiGLU feed-forward block and RMSNorm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU (swish) activation."""
+    x = np.asarray(x, dtype=np.float32)
+    return x / (1.0 + np.exp(-x))
+
+
+@dataclass(frozen=True)
+class MLPWeights:
+    """SwiGLU weights: ``w_gate``/``w_up`` ``(d_model, d_ff)``, ``w_down`` ``(d_ff, d_model)``."""
+
+    w_gate: np.ndarray
+    w_up: np.ndarray
+    w_down: np.ndarray
+
+
+class MLPLayer:
+    """SwiGLU feed-forward layer: ``(silu(x W_g) * (x W_u)) W_d``."""
+
+    def __init__(self, weights: MLPWeights):
+        self.weights = weights
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Apply the feed-forward transform to ``(n, d_model)`` hidden states."""
+        gate = silu(hidden @ self.weights.w_gate)
+        up = hidden @ self.weights.w_up
+        return ((gate * up) @ self.weights.w_down).astype(np.float32)
+
+
+class RMSNorm:
+    """Root-mean-square layer normalisation with a learned gain.
+
+    When ``enabled`` is ``False`` the layer is the identity; the constructed
+    retrieval models disable normalisation so the hand-built subspace
+    amplitudes are preserved exactly.
+    """
+
+    def __init__(self, weight: np.ndarray, *, enabled: bool = True, eps: float = 1e-6):
+        self.weight = np.asarray(weight, dtype=np.float32)
+        self.enabled = enabled
+        self.eps = eps
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        """Normalise ``(n, d_model)`` hidden states."""
+        if not self.enabled:
+            return np.asarray(hidden, dtype=np.float32)
+        hidden = np.asarray(hidden, dtype=np.float32)
+        rms = np.sqrt(np.mean(hidden**2, axis=-1, keepdims=True) + self.eps)
+        return hidden / rms * self.weight

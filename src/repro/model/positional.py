@@ -1,0 +1,84 @@
+"""Positional encodings.
+
+Two mechanisms are provided:
+
+* **Random positional codes** — per-position unit vectors used by the
+  constructed retrieval model.  Random codes make the previous-token head's
+  attention extremely peaked (inter-position dot products are O(1/sqrt(d)))
+  which keeps the construction robust.  The positional table also carries the
+  *next* position's code so the previous-token head can be expressed as a
+  plain linear key projection.
+* **Rotary positional embeddings (RoPE)** — the scheme used by the real
+  Llama/Mistral models; exercised by the generic random-weight models and the
+  unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def random_position_codes(n_positions: int, dim: int, seed: int) -> np.ndarray:
+    """Return ``(n_positions, dim)`` unit-norm random positional codes."""
+    if n_positions <= 0 or dim <= 0:
+        raise ValueError("n_positions and dim must be positive")
+    rng = derive_rng(seed, "positional-codes", n_positions, dim)
+    codes = rng.standard_normal((n_positions, dim)).astype(np.float32)
+    norms = np.linalg.norm(codes, axis=1, keepdims=True)
+    return codes / np.maximum(norms, 1e-12)
+
+
+def sinusoidal_position_codes(n_positions: int, dim: int, base: float = 10000.0) -> np.ndarray:
+    """Classic sinusoidal positional codes (provided for completeness)."""
+    if dim % 2 != 0:
+        raise ValueError(f"dim must be even, got {dim}")
+    positions = np.arange(n_positions, dtype=np.float64)[:, None]
+    freqs = base ** (-np.arange(0, dim, 2, dtype=np.float64) / dim)
+    angles = positions * freqs[None, :]
+    codes = np.empty((n_positions, dim), dtype=np.float32)
+    codes[:, 0::2] = np.sin(angles)
+    codes[:, 1::2] = np.cos(angles)
+    return codes
+
+
+def rope_frequencies(head_dim: int, theta: float = 10000.0) -> np.ndarray:
+    """Return the RoPE rotation frequencies for a head dimension."""
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    return theta ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, theta: float = 10000.0) -> np.ndarray:
+    """Apply rotary positional embeddings.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(n_tokens, n_heads, head_dim)``.
+    positions:
+        Integer positions of shape ``(n_tokens,)``.
+    theta:
+        RoPE base.
+
+    Returns
+    -------
+    numpy.ndarray
+        Rotated array with the same shape as ``x``.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 3:
+        raise ValueError(f"expected (n_tokens, n_heads, head_dim), got {x.shape}")
+    n_tokens, _, head_dim = x.shape
+    positions = np.asarray(positions, dtype=np.float64).reshape(n_tokens)
+    freqs = rope_frequencies(head_dim, theta)
+    angles = positions[:, None] * freqs[None, :]  # (n_tokens, head_dim/2)
+    cos = np.cos(angles)[:, None, :].astype(np.float32)
+    sin = np.sin(angles)[:, None, :].astype(np.float32)
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    rotated = np.empty_like(x)
+    rotated[..., 0::2] = x_even * cos - x_odd * sin
+    rotated[..., 1::2] = x_even * sin + x_odd * cos
+    return rotated

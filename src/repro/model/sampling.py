@@ -1,0 +1,33 @@
+"""Token sampling strategies for the decode loop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def greedy_sample(logits: np.ndarray) -> int:
+    """Return the argmax token id."""
+    logits = np.asarray(logits, dtype=np.float32).reshape(-1)
+    return int(np.argmax(logits))
+
+
+def top_k_sample(
+    logits: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    temperature: float = 1.0,
+) -> int:
+    """Sample from the top-``k`` tokens after temperature scaling."""
+    if k <= 0:
+        raise ValueError(f"k must be > 0, got {k}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be > 0, got {temperature}")
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    k = min(k, logits.size)
+    top_indices = np.argpartition(-logits, k - 1)[:k]
+    top_logits = logits[top_indices] / temperature
+    top_logits -= top_logits.max()
+    probs = np.exp(top_logits)
+    probs /= probs.sum()
+    return int(rng.choice(top_indices, p=probs))

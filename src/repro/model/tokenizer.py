@@ -1,0 +1,97 @@
+"""Deterministic word-level tokenizer.
+
+The synthetic datasets emit whitespace-separated word tokens, so the
+tokenizer is a plain vocabulary lookup with a handful of special tokens.
+It is deliberately simple — the paper's contribution is orthogonal to
+tokenization — but it exposes the same encode/decode API a sub-word
+tokenizer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """IDs of the reserved special tokens."""
+
+    pad: int = 0
+    unk: int = 1
+    bos: int = 2
+    eos: int = 3
+    sep: int = 4
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        """Surface forms, indexed by ID."""
+        return ("<pad>", "<unk>", "<bos>", "<eos>", "<sep>")
+
+
+class Tokenizer:
+    """Word-level tokenizer over a fixed vocabulary.
+
+    Parameters
+    ----------
+    words:
+        Iterable of vocabulary words (without the special tokens).  Order is
+        preserved; duplicates are ignored.
+    """
+
+    def __init__(self, words: Iterable[str]):
+        self.special = SpecialTokens()
+        self._id_to_word: list[str] = list(self.special.words)
+        self._word_to_id: dict[str, int] = {
+            word: idx for idx, word in enumerate(self._id_to_word)
+        }
+        for word in words:
+            if word not in self._word_to_id:
+                self._word_to_id[word] = len(self._id_to_word)
+                self._id_to_word.append(word)
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of known tokens, special tokens included."""
+        return len(self._id_to_word)
+
+    @property
+    def eos_id(self) -> int:
+        """ID of the end-of-sequence token."""
+        return self.special.eos
+
+    @property
+    def sep_id(self) -> int:
+        """ID of the separator token (used as fact terminator)."""
+        return self.special.sep
+
+    def token_to_id(self, word: str) -> int:
+        """Return the ID of ``word`` (``<unk>`` if unknown)."""
+        return self._word_to_id.get(word, self.special.unk)
+
+    def id_to_token(self, token_id: int) -> str:
+        """Return the surface form of ``token_id``."""
+        if 0 <= token_id < len(self._id_to_word):
+            return self._id_to_word[token_id]
+        return self.special.words[self.special.unk]
+
+    def encode(self, text: str | Sequence[str]) -> list[int]:
+        """Encode a string (split on whitespace) or a word sequence."""
+        words = text.split() if isinstance(text, str) else list(text)
+        return [self.token_to_id(word) for word in words]
+
+    def decode(self, token_ids: Sequence[int], *, skip_special: bool = True) -> str:
+        """Decode token IDs back to a whitespace-joined string."""
+        words = []
+        special_ids = set(range(len(self.special.words)))
+        for token_id in token_ids:
+            if skip_special and int(token_id) in special_ids:
+                continue
+            words.append(self.id_to_token(int(token_id)))
+        return " ".join(words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,215 @@
+"""Single-sequence decoder-only transformer with prefill/decode phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.model.kv_cache import ModelKVCache
+from repro.model.layers import TransformerBlock
+from repro.model.mlp import RMSNorm
+from repro.model.sampling import greedy_sample
+from repro.model.weights import ModelWeights
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of :meth:`Transformer.generate`.
+
+    Attributes
+    ----------
+    token_ids:
+        Generated token IDs, excluding the prompt and excluding the stop
+        token that terminated generation (if any).
+    n_prompt_tokens:
+        Length of the prompt that was prefetched.
+    stopped_by:
+        ``"stop_token"``, ``"max_tokens"`` or ``"cache_full"``.
+    cache:
+        The KV cache after generation (context + prompt + generated rows).
+    """
+
+    token_ids: list[int]
+    n_prompt_tokens: int
+    stopped_by: str
+    cache: ModelKVCache = field(repr=False, default=None)
+
+
+class Transformer:
+    """A decoder-only transformer over a single token sequence.
+
+    The model is deliberately batch-free: the paper's accuracy experiments
+    evaluate one request at a time, and batching only matters for the
+    analytic throughput model in :mod:`repro.hardware`.
+    """
+
+    def __init__(self, config: ModelConfig, weights: ModelWeights):
+        if weights.embedding.shape != (config.vocab_size, config.d_model):
+            raise ValueError(
+                f"embedding shape {weights.embedding.shape} does not match config"
+            )
+        self.config = config
+        self.weights = weights
+        self.blocks = [TransformerBlock(bw, config) for bw in weights.blocks]
+        self.final_norm = RMSNorm(weights.final_norm, enabled=config.use_rmsnorm)
+
+    # -- infrastructure ----------------------------------------------------
+
+    def new_cache(self, capacity: int | None = None) -> ModelKVCache:
+        """Allocate an empty KV cache sized for ``capacity`` tokens."""
+        return ModelKVCache(
+            n_layers=self.config.n_layers,
+            n_kv_heads=self.config.n_kv_heads,
+            head_dim=self.config.head_dim,
+            capacity=capacity or self.config.max_seq_len,
+        )
+
+    def embed(self, token_ids: Sequence[int], positions: np.ndarray) -> np.ndarray:
+        """Token + positional embedding, shape ``(n, d_model)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.config.vocab_size):
+            raise ValueError("token id out of range")
+        hidden = self.weights.embedding[token_ids].astype(np.float32)
+        if self.config.positional == "table" and self.weights.pos_table is not None:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.size and positions.max() >= self.weights.pos_table.shape[0]:
+                raise ValueError("position exceeds the positional table")
+            hidden = hidden + self.weights.pos_table[positions]
+        return hidden
+
+    def _logits(self, hidden_row: np.ndarray) -> np.ndarray:
+        normed = self.final_norm.forward(hidden_row.reshape(1, -1))[0]
+        return (normed @ self.weights.unembedding).astype(np.float32)
+
+    # -- phases --------------------------------------------------------------
+
+    def prefill(self, token_ids: Sequence[int], cache: ModelKVCache) -> np.ndarray:
+        """Run the prefill phase over ``token_ids``, filling ``cache``.
+
+        Returns the logits of the *last* prompt position (the distribution of
+        the first output token).
+        """
+        token_ids = list(token_ids)
+        if not token_ids:
+            raise ValueError("prefill requires at least one token")
+        start = cache.length
+        if start + len(token_ids) > cache.capacity:
+            raise ValueError("prompt does not fit in the KV cache")
+        positions = np.arange(start, start + len(token_ids))
+        hidden = self.embed(token_ids, positions)
+        for block, layer_cache in zip(self.blocks, cache.layers):
+            hidden = block.forward_prefill(hidden, layer_cache, positions)
+        return self._logits(hidden[-1])
+
+    def decode_step(self, token_id: int, cache: ModelKVCache) -> np.ndarray:
+        """Run one decode step for ``token_id``, appending to ``cache``.
+
+        Returns the logits predicting the next token.
+        """
+        position = cache.length
+        if position >= cache.capacity:
+            raise ValueError("KV cache is full")
+        hidden = self.embed([token_id], np.asarray([position]))
+        for block, layer_cache in zip(self.blocks, cache.layers):
+            hidden = block.forward_decode(hidden, layer_cache, position)
+        return self._logits(hidden[0])
+
+    def generate(
+        self,
+        prompt_ids: Sequence[int],
+        *,
+        max_new_tokens: int = 128,
+        stop_ids: Sequence[int] = (),
+        cache: ModelKVCache | None = None,
+        after_prefill: Callable[[ModelKVCache], None] | None = None,
+        sampler: Callable[[np.ndarray], int] = greedy_sample,
+    ) -> GenerationResult:
+        """Prefill the prompt and decode greedily (or with ``sampler``).
+
+        Parameters
+        ----------
+        prompt_ids:
+            Prompt token IDs (context + query).
+        max_new_tokens:
+            Maximum number of generated tokens.
+        stop_ids:
+            Token IDs that terminate generation (excluded from the output).
+        cache:
+            Optional pre-allocated cache.
+        after_prefill:
+            Hook called with the cache right after prefill — this is where
+            the evaluation harness applies KV-cache quantization, mirroring
+            real systems where the prefill pass runs at full precision and
+            the *stored* cache is quantized for the decode phase.
+        sampler:
+            Maps logits to the next token ID (greedy by default).
+        """
+        if max_new_tokens <= 0:
+            raise ValueError(f"max_new_tokens must be > 0, got {max_new_tokens}")
+        cache = cache or self.new_cache()
+        logits = self.prefill(prompt_ids, cache)
+        if after_prefill is not None:
+            after_prefill(cache)
+        stop_set = set(int(s) for s in stop_ids)
+        generated: list[int] = []
+        stopped_by = "max_tokens"
+        next_id = sampler(logits)
+        for _ in range(max_new_tokens):
+            if next_id in stop_set:
+                stopped_by = "stop_token"
+                break
+            generated.append(next_id)
+            if cache.length >= cache.capacity:
+                stopped_by = "cache_full"
+                break
+            logits = self.decode_step(next_id, cache)
+            next_id = sampler(logits)
+        return GenerationResult(
+            token_ids=generated,
+            n_prompt_tokens=len(list(prompt_ids)),
+            stopped_by=stopped_by,
+            cache=cache,
+        )
+
+    def generate_from_cache(
+        self,
+        cache: ModelKVCache,
+        first_logits: np.ndarray,
+        *,
+        max_new_tokens: int = 128,
+        stop_ids: Sequence[int] = (),
+        sampler: Callable[[np.ndarray], int] = greedy_sample,
+    ) -> GenerationResult:
+        """Continue generation from an already-prefilled (possibly quantized) cache.
+
+        This is the decode-only entry point used by the evaluation harness:
+        one full-precision prefill is shared across methods, each method
+        quantizes its own clone of the cache, and decoding restarts from the
+        prefill logits.
+        """
+        if max_new_tokens <= 0:
+            raise ValueError(f"max_new_tokens must be > 0, got {max_new_tokens}")
+        stop_set = set(int(s) for s in stop_ids)
+        generated: list[int] = []
+        stopped_by = "max_tokens"
+        n_prompt = cache.length
+        next_id = sampler(first_logits)
+        for _ in range(max_new_tokens):
+            if next_id in stop_set:
+                stopped_by = "stop_token"
+                break
+            generated.append(next_id)
+            if cache.length >= cache.capacity:
+                stopped_by = "cache_full"
+                break
+            logits = self.decode_step(next_id, cache)
+            next_id = sampler(logits)
+        return GenerationResult(
+            token_ids=generated,
+            n_prompt_tokens=n_prompt,
+            stopped_by=stopped_by,
+            cache=cache,
+        )

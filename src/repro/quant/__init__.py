@@ -1,0 +1,50 @@
+"""Quantization substrate.
+
+Implements the numeric machinery every KV-cache quantization method in this
+repository builds on:
+
+* :mod:`repro.quant.dtypes` — the :class:`BitWidth` vocabulary (FP16, INT8,
+  INT4, INT2) and byte accounting.
+* :mod:`repro.quant.uniform` — affine uniform quantization to arbitrary
+  integer bitwidths with per-slice scale/zero-point.
+* :mod:`repro.quant.group` — group quantization along a chosen axis.
+* :mod:`repro.quant.schemes` — per-token and per-channel convenience schemes
+  (the building blocks of Atom and KIVI).
+* :mod:`repro.quant.nonuniform` — non-uniform (codebook / nuq-style)
+  quantization used by the KVQuant baseline.
+* :mod:`repro.quant.packing` — packing integer codes into ``uint8`` words.
+* :mod:`repro.quant.kernels` — fused "FP16 x quantized" matmul kernels
+  (the ``fqm`` primitive of Algorithm 1).
+* :mod:`repro.quant.error` — quantization error metrics.
+"""
+
+from repro.quant.dtypes import BitWidth, bytes_for_elements
+from repro.quant.group import GroupQuantizedTensor, group_dequantize, group_quantize
+from repro.quant.kernels import fqm, fqm_right, mm
+from repro.quant.nonuniform import NonUniformQuantizedTensor, nuq_quantize
+from repro.quant.packing import pack_codes, unpack_codes
+from repro.quant.schemes import (
+    per_channel_quantize,
+    per_token_quantize,
+)
+from repro.quant.uniform import QuantizedTensor, dequantize, quantize_uniform
+
+__all__ = [
+    "BitWidth",
+    "bytes_for_elements",
+    "QuantizedTensor",
+    "quantize_uniform",
+    "dequantize",
+    "GroupQuantizedTensor",
+    "group_quantize",
+    "group_dequantize",
+    "per_token_quantize",
+    "per_channel_quantize",
+    "NonUniformQuantizedTensor",
+    "nuq_quantize",
+    "pack_codes",
+    "unpack_codes",
+    "fqm",
+    "fqm_right",
+    "mm",
+]

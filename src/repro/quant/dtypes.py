@@ -1,0 +1,88 @@
+"""Bitwidth vocabulary and byte accounting for KV-cache storage."""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class BitWidth(enum.IntEnum):
+    """Storage precision of a KV-cache slice.
+
+    The integer value is the number of bits per element.  ``FP16`` denotes
+    the unquantized baseline precision used by the paper (the NumPy substrate
+    computes in float32, but byte accounting always charges 2 bytes per FP16
+    element, matching the paper's memory model).
+    """
+
+    FP16 = 16
+    INT8 = 8
+    INT4 = 4
+    INT2 = 2
+
+    @property
+    def is_quantized(self) -> bool:
+        """``True`` for integer bitwidths, ``False`` for FP16."""
+        return self is not BitWidth.FP16
+
+    @property
+    def n_levels(self) -> int:
+        """Number of representable integer levels (undefined for FP16)."""
+        if self is BitWidth.FP16:
+            raise ValueError("FP16 is not an integer quantization bitwidth")
+        return 1 << int(self)
+
+    @property
+    def qmin(self) -> int:
+        """Smallest integer code (always 0 — asymmetric unsigned codes)."""
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        """Largest integer code."""
+        return self.n_levels - 1
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "BitWidth":
+        """Return the enum member for an integer number of bits."""
+        try:
+            return cls(bits)
+        except ValueError as exc:
+            valid = ", ".join(str(int(member)) for member in cls)
+            raise ValueError(f"unsupported bitwidth {bits}; valid: {valid}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Bitwidths Cocktail assigns to chunks, ordered from lowest to highest
+#: precision (the three "layers of the cocktail").
+COCKTAIL_LADDER: tuple[BitWidth, BitWidth, BitWidth] = (
+    BitWidth.INT2,
+    BitWidth.INT4,
+    BitWidth.FP16,
+)
+
+
+def bytes_for_elements(n_elements: int, bits: BitWidth | int) -> int:
+    """Return the number of payload bytes needed to store ``n_elements``.
+
+    Integer codes are assumed to be bit-packed (e.g. four INT2 codes per
+    byte); partial trailing bytes round up.  Scale/zero-point metadata is
+    accounted separately by the callers that know their group structure.
+    """
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be >= 0, got {n_elements}")
+    bits = int(bits)
+    return math.ceil(n_elements * bits / 8)
+
+
+def metadata_bytes_for_groups(n_groups: int, *, scale_bytes: int = 2, zero_point_bytes: int = 2) -> int:
+    """Return metadata bytes for ``n_groups`` quantization groups.
+
+    Each group stores one scale and one zero point; by default both are held
+    in FP16 (2 bytes each), matching common low-bit KV-cache kernels.
+    """
+    if n_groups < 0:
+        raise ValueError(f"n_groups must be >= 0, got {n_groups}")
+    return n_groups * (scale_bytes + zero_point_bytes)

@@ -1,0 +1,61 @@
+"""Quantization error metrics.
+
+Used by unit tests and the ablation analyses to verify the expected ordering
+of codecs (more bits, finer groups and non-uniform codebooks all reduce
+error) and by the KVQuant baseline to rank outlier tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared reconstruction error."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    if original.size == 0:
+        return 0.0
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum absolute reconstruction error."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    if original.size == 0:
+        return 0.0
+    return float(np.max(np.abs(original - reconstructed)))
+
+
+def sqnr_db(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in decibels (higher is better)."""
+    original = np.asarray(original, dtype=np.float64)
+    signal_power = float(np.mean(original**2)) if original.size else 0.0
+    noise_power = mse(original, reconstructed)
+    return float(10.0 * np.log10((signal_power + _EPS) / (noise_power + _EPS)))
+
+
+def cosine_distortion(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """``1 - cos(original, reconstructed)`` over flattened tensors.
+
+    Zero means the reconstruction preserved the direction exactly; attention
+    logits are dot products, so direction preservation is the quantity that
+    matters for retrieval fidelity.
+    """
+    a = np.asarray(original, dtype=np.float64).reshape(-1)
+    b = np.asarray(reconstructed, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = (np.linalg.norm(a) * np.linalg.norm(b)) + _EPS
+    return float(1.0 - float(a @ b) / denom)

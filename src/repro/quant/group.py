@@ -1,0 +1,98 @@
+"""Group quantization.
+
+Group quantization splits the last axis of a tensor into contiguous groups of
+``group_size`` elements and computes an independent scale/zero-point per
+group.  This is the scheme used by Atom for the KV cache and, with a group
+size of one row/column, degenerates into per-token or per-channel
+quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.dtypes import BitWidth, bytes_for_elements, metadata_bytes_for_groups
+from repro.quant.uniform import QuantizedTensor, quantize_uniform
+
+
+@dataclass(frozen=True)
+class GroupQuantizedTensor:
+    """A tensor quantized in groups along its last axis.
+
+    Attributes
+    ----------
+    inner:
+        The underlying :class:`QuantizedTensor` over the grouped view
+        ``(..., n_groups, group_size)``.
+    original_shape:
+        Shape of the tensor before grouping.
+    group_size:
+        Number of elements per quantization group.
+    pad:
+        Number of zero elements appended to make the last axis divisible by
+        ``group_size``.
+    """
+
+    inner: QuantizedTensor
+    original_shape: tuple[int, ...]
+    group_size: int
+    pad: int
+
+    @property
+    def bits(self) -> BitWidth:
+        """Quantization bitwidth."""
+        return self.inner.bits
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of scale/zero-point groups."""
+        return int(np.prod(self.inner.scale.shape))
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct a float32 approximation with the original shape."""
+        flat = self.inner.dequantize().reshape(*self.original_shape[:-1], -1)
+        if self.pad:
+            flat = flat[..., : -self.pad]
+        return flat.reshape(self.original_shape)
+
+    def storage_bytes(self) -> int:
+        """Payload plus metadata bytes for this tensor."""
+        payload = bytes_for_elements(int(np.prod(self.original_shape)), self.bits)
+        return payload + metadata_bytes_for_groups(self.n_groups)
+
+
+def group_quantize(
+    x: np.ndarray,
+    bits: BitWidth | int,
+    group_size: int,
+    *,
+    symmetric: bool = False,
+) -> GroupQuantizedTensor:
+    """Quantize ``x`` in groups of ``group_size`` along its last axis."""
+    if group_size <= 0:
+        raise ValueError(f"group_size must be > 0, got {group_size}")
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim == 0:
+        raise ValueError("cannot group-quantize a scalar")
+    last = x.shape[-1]
+    pad = (-last) % group_size
+    if pad:
+        pad_block = np.zeros(x.shape[:-1] + (pad,), dtype=np.float32)
+        x_padded = np.concatenate([x, pad_block], axis=-1)
+    else:
+        x_padded = x
+    grouped = x_padded.reshape(*x.shape[:-1], -1, group_size)
+    inner = quantize_uniform(grouped, bits, axis=-1, symmetric=symmetric)
+    return GroupQuantizedTensor(
+        inner=inner,
+        original_shape=tuple(x.shape),
+        group_size=group_size,
+        pad=pad,
+    )
+
+
+def group_dequantize(gqt: GroupQuantizedTensor) -> np.ndarray:
+    """Reconstruct the float32 tensor encoded by ``gqt``."""
+    return gqt.dequantize()

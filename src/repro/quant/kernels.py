@@ -1,0 +1,50 @@
+"""Matrix-multiply kernels over quantized operands.
+
+Algorithm 1 of the paper composes the decode-phase attention from three
+primitives:
+
+* ``mm``  — ordinary float matmul (FP16 operands),
+* ``fqm`` — "FP16 matrix x quantized matrix" multiply, where the quantized
+  operand is dequantized group-by-group inside the kernel,
+* ``cat`` — concatenation along the last axis (plain ``numpy.concatenate``).
+
+On real hardware ``fqm`` fuses dequantization into the GEMM; here the fusion
+is emulated but the *numerics* (dequantize codes with their group scales and
+accumulate in float32) are identical, which is what matters for accuracy and
+for the equivalence proof of the chunk-level computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.group import GroupQuantizedTensor
+from repro.quant.nonuniform import NonUniformQuantizedTensor
+from repro.quant.uniform import QuantizedTensor
+
+QuantizedOperand = QuantizedTensor | GroupQuantizedTensor | NonUniformQuantizedTensor
+
+
+def mm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain float32 matrix multiply (the paper's ``mm``)."""
+    return np.asarray(a, dtype=np.float32) @ np.asarray(b, dtype=np.float32)
+
+
+def _materialize(q: QuantizedOperand | np.ndarray) -> np.ndarray:
+    if isinstance(q, (QuantizedTensor, GroupQuantizedTensor, NonUniformQuantizedTensor)):
+        return q.dequantize()
+    return np.asarray(q, dtype=np.float32)
+
+
+def fqm(a: np.ndarray, q: QuantizedOperand | np.ndarray) -> np.ndarray:
+    """FP16 x quantized multiply: ``a @ dequant(q)`` (the paper's ``fqm``).
+
+    ``a`` is a float activation matrix (e.g. the decode-step Q vector or an
+    attention-probability block); ``q`` is a quantized K^T or V block.
+    """
+    return mm(a, _materialize(q))
+
+
+def fqm_right(q: QuantizedOperand | np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Quantized x FP16 multiply: ``dequant(q) @ b``."""
+    return mm(_materialize(q), b)

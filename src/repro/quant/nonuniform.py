@@ -1,0 +1,114 @@
+"""Non-uniform (codebook) quantization.
+
+KVQuant represents the quantized KV cache with a learned non-uniform datatype
+("nuqX"): instead of evenly spaced levels, each group of values is mapped to
+the nearest entry of a small codebook fitted to the value distribution.  This
+module fits the codebook with a quantile initialisation followed by a few
+Lloyd-Max iterations, which captures the key property — denser levels where
+the data is dense — without requiring any external dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.dtypes import BitWidth, bytes_for_elements
+
+
+@dataclass(frozen=True)
+class NonUniformQuantizedTensor:
+    """A tensor quantized against a shared non-uniform codebook.
+
+    Attributes
+    ----------
+    codes:
+        ``uint8`` codebook indices with the original tensor shape.
+    codebook:
+        1-D float32 array of ``2**bits`` reconstruction levels.
+    bits:
+        Quantization bitwidth.
+    original_shape:
+        Shape of the tensor before flattening.
+    """
+
+    codes: np.ndarray
+    codebook: np.ndarray
+    bits: BitWidth
+    original_shape: tuple[int, ...]
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct a float32 approximation of the original tensor."""
+        return self.codebook[self.codes].reshape(self.original_shape).astype(np.float32)
+
+    def storage_bytes(self) -> int:
+        """Payload bytes plus the (FP16) codebook."""
+        payload = bytes_for_elements(int(np.prod(self.original_shape)), self.bits)
+        return payload + 2 * int(self.codebook.size)
+
+
+def _fit_codebook(values: np.ndarray, n_levels: int, n_iters: int) -> np.ndarray:
+    """Fit a 1-D codebook with quantile init + Lloyd-Max refinement."""
+    if values.size == 0:
+        return np.zeros(n_levels, dtype=np.float32)
+    quantiles = (np.arange(n_levels) + 0.5) / n_levels
+    codebook = np.quantile(values, quantiles).astype(np.float64)
+    # Ensure strictly increasing levels so searchsorted boundaries are valid.
+    codebook = np.maximum.accumulate(codebook)
+    for _ in range(n_iters):
+        boundaries = (codebook[1:] + codebook[:-1]) / 2.0
+        assignment = np.searchsorted(boundaries, values)
+        for level in range(n_levels):
+            members = values[assignment == level]
+            if members.size:
+                codebook[level] = members.mean()
+        codebook = np.maximum.accumulate(codebook)
+    return codebook.astype(np.float32)
+
+
+def nuq_quantize(
+    x: np.ndarray,
+    bits: BitWidth | int,
+    *,
+    n_iters: int = 3,
+    max_fit_samples: int = 65536,
+) -> NonUniformQuantizedTensor:
+    """Quantize ``x`` against a non-uniform codebook fitted to its values.
+
+    Parameters
+    ----------
+    x:
+        Float array of any shape.
+    bits:
+        Target bitwidth (2, 4 or 8); the codebook has ``2**bits`` levels.
+    n_iters:
+        Number of Lloyd-Max refinement iterations.
+    max_fit_samples:
+        The codebook is fitted on an evenly strided subsample of at most this
+        many values (all values are still encoded); keeps fitting cost flat
+        for large caches.
+    """
+    bits = BitWidth.from_bits(int(bits))
+    if not bits.is_quantized:
+        raise ValueError("FP16 is stored unquantized; no codebook needed")
+    x = np.asarray(x, dtype=np.float32)
+    flat = x.reshape(-1)
+    fit_values = flat
+    if max_fit_samples > 0 and flat.size > max_fit_samples:
+        stride = int(np.ceil(flat.size / max_fit_samples))
+        fit_values = flat[::stride]
+    codebook = _fit_codebook(fit_values.astype(np.float64), bits.n_levels, n_iters)
+    boundaries = (codebook[1:] + codebook[:-1]) / 2.0
+    codes = np.searchsorted(boundaries, flat).astype(np.uint8)
+    return NonUniformQuantizedTensor(
+        codes=codes.reshape(x.shape),
+        codebook=codebook,
+        bits=bits,
+        original_shape=tuple(x.shape),
+    )
+
+
+def fake_nuq_quantize(x: np.ndarray, bits: BitWidth | int, *, n_iters: int = 4) -> np.ndarray:
+    """Non-uniform quantize-then-dequantize (accuracy-simulation view)."""
+    return nuq_quantize(x, bits, n_iters=n_iters).dequantize()

@@ -1,0 +1,57 @@
+"""Per-token and per-channel quantization schemes.
+
+KV-cache tensors in this library have shape ``(n_tokens, n_kv_heads,
+head_dim)``.  The two schemes below differ only in which axis shares a
+scale/zero-point pair:
+
+* **per-token** — one group per ``(token, head)`` pair, reduction over
+  ``head_dim``.  This is the conventional scheme (Atom's V cache, KIVI's V
+  cache).
+* **per-channel** — one group per ``(head, channel)`` pair, reduction over
+  the token axis.  KIVI applies this to the K cache because K outliers are
+  concentrated in a few channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.dtypes import BitWidth
+from repro.quant.uniform import QuantizedTensor, quantize_uniform
+from repro.utils.validation import check_shape
+
+
+def per_token_quantize(
+    kv: np.ndarray, bits: BitWidth | int, *, symmetric: bool = False
+) -> QuantizedTensor:
+    """Quantize a ``(n_tokens, n_kv_heads, head_dim)`` tensor per token.
+
+    Each ``(token, head)`` row gets its own scale/zero-point, computed over
+    the ``head_dim`` axis.
+    """
+    kv = np.asarray(kv, dtype=np.float32)
+    check_shape("kv", kv, (None, None, None))
+    return quantize_uniform(kv, bits, axis=2, symmetric=symmetric)
+
+
+def per_channel_quantize(
+    kv: np.ndarray, bits: BitWidth | int, *, symmetric: bool = False
+) -> QuantizedTensor:
+    """Quantize a ``(n_tokens, n_kv_heads, head_dim)`` tensor per channel.
+
+    Each ``(head, channel)`` column gets its own scale/zero-point, computed
+    over the token axis.  Robust to channel-wise outliers in the K cache.
+    """
+    kv = np.asarray(kv, dtype=np.float32)
+    check_shape("kv", kv, (None, None, None))
+    return quantize_uniform(kv, bits, axis=0, symmetric=symmetric)
+
+
+def fake_quantize_per_token(kv: np.ndarray, bits: BitWidth | int) -> np.ndarray:
+    """Per-token quantize-then-dequantize (the accuracy-simulation view)."""
+    return per_token_quantize(kv, bits).dequantize()
+
+
+def fake_quantize_per_channel(kv: np.ndarray, bits: BitWidth | int) -> np.ndarray:
+    """Per-channel quantize-then-dequantize (the accuracy-simulation view)."""
+    return per_channel_quantize(kv, bits).dequantize()

@@ -1,0 +1,50 @@
+"""Retrieval substrate: context chunking, encoders and similarity scoring.
+
+The chunk-level quantization search borrows the RAG recipe: encode the query
+and every context chunk, compute cosine similarities, and decide per-chunk
+precision from the scores.  Four encoders are provided, matching Table IV of
+the paper:
+
+* :class:`ContrieverEncoder` — the default (best) dense encoder,
+* :class:`LLMEmbedderEncoder` and :class:`ADA002Encoder` — dense encoders
+  with progressively lower synonym coverage and higher embedding noise,
+* :class:`BM25Encoder` — an exact lexical BM25 scorer (no semantic
+  generalisation, hence the weakest on paraphrased queries).
+
+The dense encoders are deterministic hashed bag-of-concepts embedders; their
+"semantic knowledge" is the synonym lexicon supplied by the synthetic
+dataset vocabulary (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.retrieval.base import Encoder
+from repro.retrieval.bm25 import BM25Encoder
+from repro.retrieval.chunking import ContextChunk, chunk_words, chunk_token_ids
+from repro.retrieval.dense import (
+    ADA002Encoder,
+    ContrieverEncoder,
+    DenseEncoder,
+    LLMEmbedderEncoder,
+)
+from repro.retrieval.registry import ENCODER_NAMES, get_encoder
+from repro.retrieval.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    similarity_heatmap,
+)
+
+__all__ = [
+    "Encoder",
+    "DenseEncoder",
+    "ContrieverEncoder",
+    "LLMEmbedderEncoder",
+    "ADA002Encoder",
+    "BM25Encoder",
+    "ContextChunk",
+    "chunk_words",
+    "chunk_token_ids",
+    "ENCODER_NAMES",
+    "get_encoder",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "similarity_heatmap",
+]

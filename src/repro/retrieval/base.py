@@ -1,0 +1,49 @@
+"""Encoder interface used by the chunk-level quantization search."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.retrieval.similarity import cosine_similarity_matrix
+
+
+class Encoder(abc.ABC):
+    """Maps texts to similarity scores against a query.
+
+    The chunk-level quantization search only ever consumes
+    :meth:`similarity`; dense encoders implement it via :meth:`embed` and
+    cosine similarity, while lexical scorers (BM25) override it directly.
+    """
+
+    #: Human-readable encoder name (used by the registry and reports).
+    name: str = "encoder"
+
+    @abc.abstractmethod
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed ``texts`` into unit-norm vectors of shape ``(n, dim)``."""
+
+    def embed_query(self, query: str) -> np.ndarray:
+        """Embed a single query (defaults to :meth:`embed`)."""
+        return self.embed([query])[0]
+
+    def similarity(self, query: str, chunk_texts: Sequence[str]) -> np.ndarray:
+        """Return one similarity score per chunk (higher = more relevant)."""
+        if not chunk_texts:
+            return np.zeros(0, dtype=np.float32)
+        query_vec = self.embed_query(query).reshape(1, -1)
+        chunk_vecs = self.embed(chunk_texts)
+        return cosine_similarity_matrix(query_vec, chunk_vecs)[0]
+
+    #: Host-side latency model (milliseconds) for encoding one text of
+    #: ``n_words`` words; used by the throughput model to charge the
+    #: chunk-level search cost.
+    encode_latency_ms_per_text: float = 0.35
+    encode_latency_ms_base: float = 2.0
+
+    def search_latency_seconds(self, n_chunks: int) -> float:
+        """Modeled wall-clock cost of scoring ``n_chunks`` chunks plus the query."""
+        n_texts = n_chunks + 1
+        return (self.encode_latency_ms_base + n_texts * self.encode_latency_ms_per_text) / 1e3

@@ -1,0 +1,72 @@
+"""Exact BM25 lexical scorer.
+
+BM25 is the weakest encoder in Table IV of the paper: it matches surface
+forms only, so paraphrased queries (different synonyms than the context)
+rank the relevant chunks poorly.  The implementation is the standard
+Okapi BM25 with the chunk list as the corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.retrieval.base import Encoder
+
+
+class BM25Encoder(Encoder):
+    """Okapi BM25 over whitespace-tokenised texts."""
+
+    name = "bm25"
+
+    def __init__(self, *, k1: float = 1.5, b: float = 0.75):
+        if k1 <= 0:
+            raise ValueError(f"k1 must be > 0, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+        self.encode_latency_ms_per_text = 0.05
+        self.encode_latency_ms_base = 0.5
+
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        """BM25 has no dense embedding space; scoring goes through :meth:`similarity`."""
+        raise NotImplementedError("BM25 is a lexical scorer; use similarity()")
+
+    def similarity(self, query: str, chunk_texts: Sequence[str]) -> np.ndarray:
+        """Score each chunk against the query with Okapi BM25.
+
+        Scores are normalised to ``[0, 1]`` by the maximum attainable score
+        for the query over this corpus, so the chunk-level search thresholds
+        (which are relative to the per-request min/max) behave consistently.
+        """
+        if not chunk_texts:
+            return np.zeros(0, dtype=np.float32)
+        docs = [text.split() for text in chunk_texts]
+        doc_freqs = [Counter(doc) for doc in docs]
+        doc_lens = np.array([max(len(doc), 1) for doc in docs], dtype=np.float64)
+        avg_len = float(doc_lens.mean())
+        n_docs = len(docs)
+
+        query_terms = query.split()
+        scores = np.zeros(n_docs, dtype=np.float64)
+        for term in query_terms:
+            df = sum(1 for freqs in doc_freqs if term in freqs)
+            if df == 0:
+                continue
+            idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+            for doc_index, freqs in enumerate(doc_freqs):
+                tf = freqs.get(term, 0)
+                if tf == 0:
+                    continue
+                denom = tf + self.k1 * (
+                    1.0 - self.b + self.b * doc_lens[doc_index] / avg_len
+                )
+                scores[doc_index] += idf * tf * (self.k1 + 1.0) / denom
+        max_score = scores.max()
+        if max_score > 0:
+            scores = scores / max_score
+        return scores.astype(np.float32)

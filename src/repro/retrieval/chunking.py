@@ -1,0 +1,95 @@
+"""Context chunking.
+
+The paper segments the long context into equal-length chunks; if the context
+length is not divisible by the chunk size, the trailing remainder is *not*
+chunked and its KV cache is kept at FP16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ContextChunk:
+    """A contiguous span of the context.
+
+    Attributes
+    ----------
+    index:
+        Chunk index (0-based, in context order).  ``-1`` marks the
+        non-divisible tail.
+    start, end:
+        Token span ``[start, end)`` within the context.
+    words:
+        Surface words of the span (used by the encoders).
+    """
+
+    index: int
+    start: int
+    end: int
+    words: tuple[str, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of tokens in the chunk."""
+        return self.end - self.start
+
+    @property
+    def text(self) -> str:
+        """Whitespace-joined surface text."""
+        return " ".join(self.words)
+
+    @property
+    def is_tail(self) -> bool:
+        """``True`` for the non-divisible trailing remainder."""
+        return self.index < 0
+
+
+def chunk_words(
+    words: Sequence[str], chunk_size: int
+) -> tuple[list[ContextChunk], ContextChunk | None]:
+    """Split ``words`` into equal-length chunks plus an optional tail.
+
+    Returns ``(chunks, tail)`` where ``tail`` is ``None`` when the context
+    length is divisible by ``chunk_size``.
+    """
+    check_positive("chunk_size", chunk_size)
+    words = list(words)
+    n_full = len(words) // chunk_size
+    chunks = [
+        ContextChunk(
+            index=i,
+            start=i * chunk_size,
+            end=(i + 1) * chunk_size,
+            words=tuple(words[i * chunk_size : (i + 1) * chunk_size]),
+        )
+        for i in range(n_full)
+    ]
+    tail = None
+    if n_full * chunk_size < len(words):
+        tail = ContextChunk(
+            index=-1,
+            start=n_full * chunk_size,
+            end=len(words),
+            words=tuple(words[n_full * chunk_size :]),
+        )
+    return chunks, tail
+
+
+def chunk_token_ids(
+    n_tokens: int, chunk_size: int
+) -> tuple[list[tuple[int, int]], tuple[int, int] | None]:
+    """Split a token range ``[0, n_tokens)`` into chunk spans plus a tail span."""
+    check_positive("chunk_size", chunk_size)
+    if n_tokens < 0:
+        raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+    n_full = n_tokens // chunk_size
+    spans = [(i * chunk_size, (i + 1) * chunk_size) for i in range(n_full)]
+    tail = None
+    if n_full * chunk_size < n_tokens:
+        tail = (n_full * chunk_size, n_tokens)
+    return spans, tail

@@ -1,0 +1,177 @@
+"""Simulated dense encoders (Contriever, LLM-Embedder, ADA-002).
+
+Each encoder is a deterministic hashed bag-of-concepts embedder:
+
+1. every word of a text is mapped to a *concept* through the synonym lexicon
+   supplied by the synthetic dataset vocabulary (this is the encoder's
+   "semantic knowledge" — covering a paraphrased query word and a different
+   surface form in the context chunk with the same concept vector is what a
+   real dense retriever learns from pre-training),
+2. each concept is hashed to a fixed random unit vector,
+3. the text embedding is the mean concept vector plus a small deterministic
+   noise term, renormalised.
+
+Encoders differ in two documented quality knobs that reproduce the ordering
+of Table IV: *synonym coverage* (the fraction of lexicon entries the encoder
+actually knows) and *noise level*.  Contriever has full coverage and the
+least noise; ADA-002 the least coverage and the most noise among the dense
+encoders; BM25 (see :mod:`repro.retrieval.bm25`) has no semantic knowledge at
+all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.retrieval.base import Encoder
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def _stable_hash(*parts: str) -> int:
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class DenseEncoder(Encoder):
+    """Hashed bag-of-concepts dense encoder.
+
+    Parameters
+    ----------
+    name:
+        Encoder name (used for hashing, so two encoders with different names
+        have independent concept vectors and noise).
+    dim:
+        Embedding dimensionality.
+    lexicon:
+        Mapping from surface word to concept identifier.  Words absent from
+        the lexicon (or dropped by the coverage knob) are treated as their
+        own concept.
+    synonym_coverage:
+        Probability that a lexicon entry is known to this encoder (decided
+        deterministically per word).
+    noise_level:
+        Standard deviation of the per-text embedding noise, relative to the
+        (unit) embedding norm.
+    seed:
+        Base seed for the concept vectors and noise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dim: int = 256,
+        lexicon: Mapping[str, str] | None = None,
+        synonym_coverage: float = 1.0,
+        noise_level: float = 0.02,
+        seed: int = 0,
+    ):
+        check_positive("dim", dim)
+        check_probability("synonym_coverage", synonym_coverage)
+        check_positive("noise_level", noise_level, allow_zero=True)
+        self.name = name
+        self.dim = dim
+        self.lexicon = dict(lexicon or {})
+        self.synonym_coverage = synonym_coverage
+        self.noise_level = noise_level
+        self.seed = seed
+        self._concept_cache: dict[str, np.ndarray] = {}
+
+    # -- internals ---------------------------------------------------------
+
+    def _knows_word(self, word: str) -> bool:
+        """Deterministically decide whether this encoder's lexicon covers ``word``."""
+        if self.synonym_coverage >= 1.0:
+            return True
+        if self.synonym_coverage <= 0.0:
+            return False
+        bucket = _stable_hash(self.name, "coverage", word, str(self.seed)) % 10_000
+        return bucket < self.synonym_coverage * 10_000
+
+    def _concept_of(self, word: str) -> str:
+        if word in self.lexicon and self._knows_word(word):
+            return self.lexicon[word]
+        return word
+
+    def _concept_vector(self, concept: str) -> np.ndarray:
+        cached = self._concept_cache.get(concept)
+        if cached is not None:
+            return cached
+        rng = derive_rng(_stable_hash(self.name, "concept", concept) ^ self.seed, "vec")
+        vec = rng.standard_normal(self.dim).astype(np.float32)
+        vec /= max(float(np.linalg.norm(vec)), 1e-12)
+        self._concept_cache[concept] = vec
+        return vec
+
+    def _text_noise(self, text: str) -> np.ndarray:
+        if self.noise_level <= 0:
+            return np.zeros(self.dim, dtype=np.float32)
+        rng = derive_rng(_stable_hash(self.name, "noise", text) ^ self.seed, "noise")
+        return rng.normal(0.0, self.noise_level, self.dim).astype(np.float32)
+
+    # -- Encoder API ---------------------------------------------------------
+
+    def embed(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed texts as unit-norm mean-of-concept vectors plus noise."""
+        vectors = np.zeros((len(texts), self.dim), dtype=np.float32)
+        for row, text in enumerate(texts):
+            words = text.split()
+            if not words:
+                continue  # empty texts embed to the zero vector
+            acc = np.zeros(self.dim, dtype=np.float32)
+            for word in words:
+                acc += self._concept_vector(self._concept_of(word))
+            acc /= len(words)
+            acc = acc + self._text_noise(text)
+            norm = float(np.linalg.norm(acc))
+            vectors[row] = acc / norm if norm > 1e-12 else acc
+        return vectors
+
+
+class ContrieverEncoder(DenseEncoder):
+    """Facebook-Contriever stand-in: full synonym coverage, lowest noise."""
+
+    def __init__(self, lexicon: Mapping[str, str] | None = None, *, dim: int = 256, seed: int = 0):
+        super().__init__(
+            "contriever",
+            dim=dim,
+            lexicon=lexicon,
+            synonym_coverage=1.0,
+            noise_level=0.02,
+            seed=seed,
+        )
+        self.encode_latency_ms_per_text = 0.35
+
+
+class LLMEmbedderEncoder(DenseEncoder):
+    """LLM-Embedder stand-in: near-full coverage, slightly more noise."""
+
+    def __init__(self, lexicon: Mapping[str, str] | None = None, *, dim: int = 256, seed: int = 0):
+        super().__init__(
+            "llm-embedder",
+            dim=dim,
+            lexicon=lexicon,
+            synonym_coverage=0.92,
+            noise_level=0.04,
+            seed=seed,
+        )
+        self.encode_latency_ms_per_text = 0.45
+
+
+class ADA002Encoder(DenseEncoder):
+    """ADA-002 stand-in: reduced coverage and higher noise (and an API-call latency)."""
+
+    def __init__(self, lexicon: Mapping[str, str] | None = None, *, dim: int = 256, seed: int = 0):
+        super().__init__(
+            "ada-002",
+            dim=dim,
+            lexicon=lexicon,
+            synonym_coverage=0.78,
+            noise_level=0.07,
+            seed=seed,
+        )
+        self.encode_latency_ms_per_text = 1.2

@@ -1,0 +1,42 @@
+"""Encoder registry keyed by the names used in Table IV of the paper."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.retrieval.base import Encoder
+from repro.retrieval.bm25 import BM25Encoder
+from repro.retrieval.dense import ADA002Encoder, ContrieverEncoder, LLMEmbedderEncoder
+
+#: Encoder names in the order they appear in Table IV.
+ENCODER_NAMES: tuple[str, ...] = ("ada-002", "bm25", "llm-embedder", "contriever")
+
+
+def get_encoder(
+    name: str,
+    lexicon: Mapping[str, str] | None = None,
+    *,
+    seed: int = 0,
+) -> Encoder:
+    """Instantiate an encoder by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ENCODER_NAMES` (case-insensitive).
+    lexicon:
+        Synonym lexicon (word -> concept) from the dataset vocabulary; ignored
+        by BM25.
+    seed:
+        Seed for the dense encoders' concept vectors and noise.
+    """
+    key = name.lower()
+    if key == "contriever":
+        return ContrieverEncoder(lexicon, seed=seed)
+    if key == "llm-embedder":
+        return LLMEmbedderEncoder(lexicon, seed=seed)
+    if key in ("ada-002", "ada002"):
+        return ADA002Encoder(lexicon, seed=seed)
+    if key == "bm25":
+        return BM25Encoder()
+    raise KeyError(f"unknown encoder {name!r}; known: {list(ENCODER_NAMES)}")

@@ -1,0 +1,66 @@
+"""Cosine similarity utilities and the Figure-1 similarity heatmap."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.retrieval.base import Encoder
+
+_EPS = 1e-12
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (paper equation 1)."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = np.linalg.norm(a) * np.linalg.norm(b) + _EPS
+    return float(a @ b / denom)
+
+
+def cosine_similarity_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities between the rows of ``a`` and ``b``.
+
+    Returns an ``(n_a, n_b)`` float32 matrix.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), _EPS)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), _EPS)
+    return (a_norm @ b_norm.T).astype(np.float32)
+
+
+def similarity_heatmap(
+    encoder: "Encoder", queries: Sequence[str], chunk_texts: Sequence[str]
+) -> np.ndarray:
+    """Similarity matrix of ``queries`` against ``chunk_texts`` (Figure 1).
+
+    Returns an ``(n_queries, n_chunks)`` matrix of scores from
+    ``encoder.similarity``.
+    """
+    rows = [encoder.similarity(query, chunk_texts) for query in queries]
+    return np.stack(rows, axis=0) if rows else np.zeros((0, len(chunk_texts)), dtype=np.float32)
+
+
+def relevant_chunk_fraction(
+    heatmap: np.ndarray, *, relative_threshold: float = 0.5
+) -> np.ndarray:
+    """Per-query fraction of chunks scoring above a relative threshold.
+
+    A chunk counts as relevant to a query when its score exceeds
+    ``s_min + relative_threshold * (s_max - s_min)`` for that query.  The
+    paper's Figure 1 observation is that this fraction is small.
+    """
+    heatmap = np.asarray(heatmap, dtype=np.float64)
+    if heatmap.ndim != 2:
+        raise ValueError(f"expected a 2-D heatmap, got shape {heatmap.shape}")
+    smin = heatmap.min(axis=1, keepdims=True)
+    smax = heatmap.max(axis=1, keepdims=True)
+    cutoff = smin + relative_threshold * (smax - smin)
+    return (heatmap > cutoff).mean(axis=1)

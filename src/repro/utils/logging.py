@@ -1,0 +1,24 @@
+"""Minimal logging helpers.
+
+The library never configures the root logger; applications remain in control.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger namespaced under the library logger.
+
+    Parameters
+    ----------
+    name:
+        Optional sub-name, e.g. ``"core.search"``.  ``None`` returns the
+        library root logger.
+    """
+    if name is None:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")

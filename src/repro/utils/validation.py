@@ -1,0 +1,53 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the given range."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+
+
+def check_shape(name: str, array: np.ndarray, expected: Sequence[int | None]) -> None:
+    """Raise ``ValueError`` unless ``array`` matches ``expected``.
+
+    ``None`` entries in ``expected`` act as wildcards for that dimension.
+    """
+    if array.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got shape {array.shape}"
+        )
+    for axis, want in enumerate(expected):
+        if want is not None and array.shape[axis] != want:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {tuple(expected)}"
+            )

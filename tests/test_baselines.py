@@ -1,0 +1,189 @@
+"""Tests for the baseline KV-cache quantizers and the common interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.atom import AtomQuantizer
+from repro.baselines.base import (
+    KVQuantizationPlan,
+    QuantizationRequest,
+    expand_chunk_bits_to_tokens,
+    uniform_token_bits,
+)
+from repro.baselines.fp16 import FP16Quantizer
+from repro.baselines.kivi import KIVIQuantizer
+from repro.baselines.kvquant import KVQuantQuantizer
+from repro.baselines.registry import BASELINE_NAMES, get_baseline
+from repro.model.kv_cache import ModelKVCache
+from repro.quant.dtypes import BitWidth
+
+
+def _cache(rng, n_layers=2, n_tokens=48, n_context=40, n_kv_heads=2, head_dim=8):
+    cache = ModelKVCache(n_layers=n_layers, n_kv_heads=n_kv_heads, head_dim=head_dim, capacity=64)
+    for layer in cache.layers:
+        kv = rng.normal(0, 1, (n_tokens, n_kv_heads, head_dim)).astype(np.float32)
+        layer.append(kv, rng.normal(0, 1, (n_tokens, n_kv_heads, head_dim)).astype(np.float32))
+    cache.mark_context(n_context)
+    return cache
+
+
+def _request(cache, chunk_size=8):
+    n_context = cache.n_context
+    n_chunks = n_context // chunk_size
+    spans = [(i * chunk_size, (i + 1) * chunk_size) for i in range(n_chunks)]
+    tail = (n_chunks * chunk_size, n_context) if n_chunks * chunk_size < n_context else None
+    return QuantizationRequest(
+        context_len=n_context,
+        chunk_size=chunk_size,
+        chunk_texts=[f"chunk {i}" for i in range(n_chunks)],
+        chunk_spans=spans,
+        tail_span=tail,
+        query_text="query",
+        cache=cache,
+    )
+
+
+class TestPlanHelpers:
+    def test_uniform_token_bits(self):
+        bits = uniform_token_bits(5, BitWidth.INT4)
+        assert bits.tolist() == [4] * 5
+
+    def test_expand_chunk_bits(self):
+        token_bits = expand_chunk_bits_to_tokens(
+            [(0, 4), (4, 8)], [BitWidth.INT2, BitWidth.FP16], 10
+        )
+        assert token_bits[:4].tolist() == [2] * 4
+        assert token_bits[4:8].tolist() == [16] * 4
+        assert token_bits[8:].tolist() == [16, 16]  # tail defaults to FP16
+
+    def test_expand_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            expand_chunk_bits_to_tokens([(0, 4)], [], 4)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            KVQuantizationPlan(
+                method="x", context_len=3, token_bits=np.array([4, 4]), reordered=True
+            )
+        with pytest.raises(ValueError):
+            KVQuantizationPlan(
+                method="x", context_len=2, token_bits=np.array([3, 4]), reordered=True
+            )
+        with pytest.raises(ValueError):
+            KVQuantizationPlan(
+                method="x",
+                context_len=2,
+                token_bits=np.array([4, 4]),
+                reordered=True,
+                permutation=np.array([0, 0]),
+            )
+
+    def test_plan_fractions_and_runs(self):
+        plan = KVQuantizationPlan(
+            method="x",
+            context_len=4,
+            token_bits=np.array([2, 16, 2, 16]),
+            reordered=True,
+            permutation=np.array([0, 2, 1, 3]),
+        )
+        fractions = plan.bit_fractions()
+        assert fractions[BitWidth.INT2] == pytest.approx(0.5)
+        assert fractions[BitWidth.FP16] == pytest.approx(0.5)
+        assert plan.mean_bits() == pytest.approx(9.0)
+        # After the permutation the layout is [2, 2, 16, 16]: two runs.
+        assert plan.n_precision_runs() == 2
+
+
+class TestFP16:
+    def test_noop(self, rng):
+        cache = _cache(rng)
+        before = cache.snapshot()
+        quantizer = FP16Quantizer()
+        plan = quantizer.plan(_request(cache))
+        quantizer.apply(cache, plan)
+        after = cache.snapshot()
+        for (k0, v0), (k1, v1) in zip(before, after):
+            np.testing.assert_array_equal(k0, k1)
+            np.testing.assert_array_equal(v0, v1)
+        assert plan.bit_fractions() == {BitWidth.FP16: 1.0}
+        assert plan.search_seconds == 0.0
+
+
+class TestAtomAndKIVI:
+    @pytest.mark.parametrize("quantizer_cls", [AtomQuantizer, KIVIQuantizer])
+    def test_uniform_int4_plan(self, rng, quantizer_cls):
+        cache = _cache(rng)
+        quantizer = quantizer_cls()
+        plan = quantizer.plan(_request(cache))
+        assert plan.bit_fractions() == {BitWidth.INT4: 1.0}
+        assert plan.reordered
+
+    @pytest.mark.parametrize("quantizer_cls", [AtomQuantizer, KIVIQuantizer])
+    def test_apply_modifies_context_only(self, rng, quantizer_cls):
+        cache = _cache(rng)
+        quantizer = quantizer_cls()
+        before = cache.snapshot()
+        quantizer.plan_and_apply(_request(cache), cache)
+        n_context = cache.n_context
+        for layer_index, (k_before, v_before) in enumerate(before):
+            k_after = cache.layer(layer_index).keys()
+            assert not np.allclose(k_before[:n_context], k_after[:n_context])
+            np.testing.assert_array_equal(k_before[n_context:], k_after[n_context:])
+            # Quantization error is bounded (INT4 over unit-normal data).
+            assert np.abs(k_before[:n_context] - k_after[:n_context]).max() < 0.5
+
+    def test_atom_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            AtomQuantizer(group_size=0)
+
+
+class TestKVQuant:
+    def test_outlier_fraction_kept_fp16(self, rng):
+        cache = _cache(rng, n_context=40)
+        quantizer = KVQuantQuantizer(outlier_fraction=0.1)
+        plan = quantizer.plan(_request(cache))
+        fractions = plan.bit_fractions()
+        assert fractions[BitWidth.FP16] == pytest.approx(0.1)
+        assert fractions[BitWidth.INT4] == pytest.approx(0.9)
+        assert not plan.reordered
+        assert plan.search_seconds > 0
+
+    def test_outlier_tokens_untouched(self, rng):
+        cache = _cache(rng)
+        quantizer = KVQuantQuantizer(outlier_fraction=0.1)
+        before = cache.snapshot()
+        plan = quantizer.plan_and_apply(_request(cache), cache)
+        outlier_mask = plan.token_bits == int(BitWidth.FP16)
+        k_after = cache.layer(0).keys()
+        np.testing.assert_array_equal(
+            before[0][0][: cache.n_context][outlier_mask], k_after[: cache.n_context][outlier_mask]
+        )
+        assert not np.allclose(
+            before[0][0][: cache.n_context][~outlier_mask],
+            k_after[: cache.n_context][~outlier_mask],
+        )
+
+    def test_invalid_outlier_fraction(self):
+        with pytest.raises(ValueError):
+            KVQuantQuantizer(outlier_fraction=1.5)
+
+    def test_outliers_are_largest_magnitude_tokens(self, rng):
+        cache = _cache(rng)
+        # Make token 3 a huge outlier in every layer.
+        for layer in cache.layers:
+            layer.k[3] *= 40
+        quantizer = KVQuantQuantizer(outlier_fraction=0.05)
+        plan = quantizer.plan(_request(cache))
+        assert plan.token_bits[3] == int(BitWidth.FP16)
+
+
+class TestRegistry:
+    def test_all_baselines_constructible(self):
+        for name in BASELINE_NAMES:
+            assert get_baseline(name).name == name
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            get_baseline("smoothquant")

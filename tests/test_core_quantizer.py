@@ -1,0 +1,140 @@
+"""Tests for the Cocktail quantizer and its ablation variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import QuantizationRequest
+from repro.core.config import CocktailConfig
+from repro.core.quantizer import (
+    CocktailQuantizer,
+    NoReorderCocktailQuantizer,
+    RandomSearchCocktailQuantizer,
+)
+from repro.model.kv_cache import ModelKVCache
+from repro.quant.dtypes import BitWidth
+from repro.retrieval.dense import ContrieverEncoder
+
+_LEXICON = {"kittens": "felines", "cats": "felines"}
+
+
+def _request(rng, *, n_chunks=6, chunk_size=8, tail=3, relevant_chunk=2):
+    """A request whose ``relevant_chunk`` talks about the query topic."""
+    context_len = n_chunks * chunk_size + tail
+    chunk_texts = []
+    for i in range(n_chunks):
+        if i == relevant_chunk:
+            chunk_texts.append(" ".join(["kittens"] * chunk_size))
+        else:
+            chunk_texts.append(" ".join(f"rock{i}w{j}" for j in range(chunk_size)))
+    spans = [(i * chunk_size, (i + 1) * chunk_size) for i in range(n_chunks)]
+    cache = ModelKVCache(n_layers=2, n_kv_heads=2, head_dim=8, capacity=context_len + 8)
+    for layer in cache.layers:
+        kv = rng.normal(size=(context_len, 2, 8)).astype(np.float32)
+        layer.append(kv, rng.normal(size=(context_len, 2, 8)).astype(np.float32))
+    cache.mark_context(context_len)
+    return QuantizationRequest(
+        context_len=context_len,
+        chunk_size=chunk_size,
+        chunk_texts=chunk_texts,
+        chunk_spans=spans,
+        tail_span=(n_chunks * chunk_size, context_len),
+        query_text="cats",
+        cache=cache,
+    )
+
+
+def _cocktail(config=None, cls=CocktailQuantizer):
+    encoder = ContrieverEncoder(_LEXICON)
+    return cls(config or CocktailConfig(chunk_size=8), encoder)
+
+
+class TestCocktailQuantizer:
+    def test_relevant_chunk_kept_fp16_and_tail_fp16(self, rng):
+        request = _request(rng, relevant_chunk=2)
+        quantizer = _cocktail()
+        plan = quantizer.plan(request)
+        token_bits = plan.token_bits
+        assert np.all(token_bits[16:24] == int(BitWidth.FP16))  # relevant chunk
+        assert np.all(token_bits[-3:] == int(BitWidth.FP16))  # tail
+        # Most chunks are irrelevant and land at the lowest precision.
+        assert plan.bit_fractions()[BitWidth.INT2] > 0.4
+        assert plan.reordered and plan.permutation is not None
+        assert plan.search_seconds > 0
+
+    def test_apply_preserves_fp16_tokens_and_quantizes_others(self, rng):
+        request = _request(rng)
+        quantizer = _cocktail()
+        cache = request.cache
+        before = cache.snapshot()
+        plan = quantizer.plan_and_apply(request, cache)
+        fp16_mask = plan.token_bits == int(BitWidth.FP16)
+        k_after = cache.layer(0).keys()[: request.context_len]
+        k_before = before[0][0][: request.context_len]
+        np.testing.assert_array_equal(k_after[fp16_mask], k_before[fp16_mask])
+        assert not np.allclose(k_after[~fp16_mask], k_before[~fp16_mask])
+
+    def test_int2_chunks_more_distorted_than_int4(self, rng):
+        request = _request(rng)
+        quantizer = _cocktail(CocktailConfig(chunk_size=8, alpha=0.4, beta=0.4))
+        cache = request.cache
+        before = cache.snapshot()
+        plan = quantizer.plan_and_apply(request, cache)
+        k_before = before[0][0][: request.context_len]
+        k_after = cache.layer(0).keys()[: request.context_len]
+        errors = np.abs(k_after - k_before).mean(axis=(1, 2))
+        int2_err = errors[plan.token_bits == 2].mean() if (plan.token_bits == 2).any() else 0
+        int4_err = errors[plan.token_bits == 4].mean() if (plan.token_bits == 4).any() else 0
+        if int2_err and int4_err:
+            assert int2_err > int4_err
+
+    def test_short_context_all_fp16(self, rng):
+        request = _request(rng, n_chunks=0, tail=5)
+        plan = _cocktail().plan(request)
+        assert plan.bit_fractions() == {BitWidth.FP16: 1.0}
+        assert plan.search_seconds == 0.0
+
+    def test_build_chunked_caches(self, rng):
+        request = _request(rng)
+        quantizer = _cocktail()
+        plan = quantizer.plan(request)
+        chunked = quantizer.build_chunked_caches(request.cache, plan)
+        assert len(chunked) == request.cache.n_layers
+        assert chunked[0].n_context == request.context_len
+
+    def test_alpha_controls_int2_share(self, rng):
+        request = _request(rng)
+        low_alpha = _cocktail(CocktailConfig(chunk_size=8, alpha=0.1)).plan(request)
+        high_alpha = _cocktail(CocktailConfig(chunk_size=8, alpha=0.9)).plan(request)
+        assert high_alpha.bit_fractions().get(BitWidth.INT2, 0.0) >= low_alpha.bit_fractions().get(
+            BitWidth.INT2, 0.0
+        )
+
+    def test_beta_controls_fp16_share(self, rng):
+        request = _request(rng)
+        small_beta = _cocktail(CocktailConfig(chunk_size=8, beta=0.05)).plan(request)
+        large_beta = _cocktail(CocktailConfig(chunk_size=8, beta=0.6)).plan(request)
+        assert large_beta.bit_fractions()[BitWidth.FP16] >= small_beta.bit_fractions()[BitWidth.FP16]
+
+
+class TestAblationVariants:
+    def test_random_search_keeps_fractions_but_not_assignment(self, rng):
+        request = _request(rng)
+        cocktail = _cocktail().plan(request)
+        random_variant = _cocktail(cls=RandomSearchCocktailQuantizer).plan(request)
+        assert random_variant.method == "cocktail-random-search"
+        # Same precision budget (chunk-level fractions identical).
+        assert cocktail.bit_fractions() == random_variant.bit_fractions()
+        # The ablation performs no encoder search.
+        assert random_variant.search_seconds == 0.0
+
+    def test_no_reorder_variant_is_unordered(self, rng):
+        request = _request(rng)
+        plan = _cocktail(cls=NoReorderCocktailQuantizer).plan(request)
+        assert plan.method == "cocktail-no-reorder"
+        assert not plan.reordered
+        assert plan.permutation is None
+        # Accuracy-relevant assignment matches full Cocktail.
+        full = _cocktail().plan(request)
+        np.testing.assert_array_equal(plan.token_bits, full.token_bits)

@@ -1,0 +1,80 @@
+"""Tests for KV-cache chunk reordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reorder import (
+    chunk_reorder_permutation,
+    inverse_permutation,
+    token_reorder_permutation,
+)
+from repro.quant.dtypes import BitWidth
+
+_BITS = st.sampled_from([BitWidth.INT2, BitWidth.INT4, BitWidth.FP16])
+
+
+class TestChunkReorder:
+    def test_groups_same_precision_contiguously(self):
+        chunk_bits = [BitWidth.FP16, BitWidth.INT2, BitWidth.INT4, BitWidth.INT2]
+        perm = chunk_reorder_permutation(chunk_bits)
+        reordered = [chunk_bits[i] for i in perm]
+        assert reordered == [BitWidth.INT2, BitWidth.INT2, BitWidth.INT4, BitWidth.FP16]
+
+    def test_stable_within_groups(self):
+        chunk_bits = [BitWidth.INT2, BitWidth.FP16, BitWidth.INT2, BitWidth.INT2]
+        perm = chunk_reorder_permutation(chunk_bits)
+        int2_positions = [int(i) for i in perm if chunk_bits[i] is BitWidth.INT2]
+        assert int2_positions == [0, 2, 3]
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_reorder_permutation([BitWidth.INT8])
+
+    def test_custom_precision_order(self):
+        perm = chunk_reorder_permutation(
+            [BitWidth.INT2, BitWidth.FP16],
+            precision_order=(BitWidth.FP16, BitWidth.INT2),
+        )
+        assert perm.tolist() == [1, 0]
+
+
+class TestTokenReorder:
+    def test_expands_chunks_and_appends_tail(self):
+        spans = [(0, 4), (4, 8)]
+        bits = [BitWidth.FP16, BitWidth.INT2]
+        perm = token_reorder_permutation(spans, bits, 10, tail_span=(8, 10))
+        # INT2 chunk first, then FP16 chunk, then the FP16 tail.
+        assert perm.tolist() == [4, 5, 6, 7, 0, 1, 2, 3, 8, 9]
+
+    def test_coverage_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            token_reorder_permutation([(0, 4)], [BitWidth.INT2], 10, tail_span=None)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            token_reorder_permutation([(0, 4)], [], 4)
+
+    def test_inverse_permutation(self):
+        perm = np.array([2, 0, 3, 1])
+        inverse = inverse_permutation(perm)
+        np.testing.assert_array_equal(perm[inverse], np.arange(4))
+        np.testing.assert_array_equal(inverse[perm], np.arange(4))
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunk_bits=st.lists(_BITS, min_size=1, max_size=40), chunk_size=st.integers(1, 8))
+def test_property_token_reorder_is_valid_grouped_permutation(chunk_bits, chunk_size):
+    """The token permutation is a true permutation and groups precisions contiguously."""
+    spans = [(i * chunk_size, (i + 1) * chunk_size) for i in range(len(chunk_bits))]
+    context_len = len(chunk_bits) * chunk_size
+    perm = token_reorder_permutation(spans, chunk_bits, context_len)
+    assert sorted(perm.tolist()) == list(range(context_len))
+    token_bits = np.repeat([int(b) for b in chunk_bits], chunk_size)
+    reordered = token_bits[perm]
+    # Contiguity: the number of runs equals the number of distinct precisions.
+    n_runs = 1 + int(np.sum(reordered[1:] != reordered[:-1]))
+    assert n_runs == len(set(reordered.tolist()))

@@ -1,0 +1,133 @@
+"""Tests for the threshold rule and the chunk-level quantization search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CocktailConfig
+from repro.core.search import ChunkQuantizationSearch
+from repro.core.thresholds import assign_bitwidths, compute_thresholds
+from repro.quant.dtypes import BitWidth
+from repro.retrieval.dense import ContrieverEncoder
+
+
+class TestCocktailConfig:
+    def test_defaults_match_paper(self):
+        config = CocktailConfig()
+        assert config.chunk_size == 32
+        assert config.alpha == 0.6
+        assert config.beta == 0.1
+        assert config.ladder == (BitWidth.INT2, BitWidth.INT4, BitWidth.FP16)
+        assert config.encoder_name == "contriever"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CocktailConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            CocktailConfig(alpha=1.5)
+
+    def test_with_overrides(self):
+        config = CocktailConfig().with_overrides(alpha=0.3, reorder=False)
+        assert config.alpha == 0.3
+        assert not config.reorder
+        assert config.chunk_size == 32
+
+
+class TestThresholds:
+    def test_formula_matches_equations_2_and_3(self):
+        scores = np.array([0.0, 0.5, 1.0])
+        t_low, t_high = compute_thresholds(scores, alpha=0.6, beta=0.1)
+        assert t_low == pytest.approx(0.6)
+        assert t_high == pytest.approx(0.9)
+
+    def test_non_unit_score_range(self):
+        scores = np.array([0.2, 0.4])
+        t_low, t_high = compute_thresholds(scores, alpha=0.5, beta=0.25)
+        assert t_low == pytest.approx(0.3)
+        assert t_high == pytest.approx(0.35)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValueError):
+            compute_thresholds(np.array([]), 0.5, 0.5)
+
+    def test_invalid_alpha_beta(self):
+        with pytest.raises(ValueError):
+            compute_thresholds(np.array([0.1, 0.9]), -0.1, 0.5)
+
+    def test_assignment_rule(self):
+        scores = np.array([0.05, 0.5, 0.95])
+        bits = assign_bitwidths(scores, t_low=0.3, t_high=0.8)
+        assert bits == [BitWidth.INT2, BitWidth.INT4, BitWidth.FP16]
+
+    def test_assignment_boundary_values_get_middle_precision(self):
+        bits = assign_bitwidths(np.array([0.3, 0.8]), t_low=0.3, t_high=0.8)
+        assert bits == [BitWidth.INT4, BitWidth.INT4]
+
+    def test_low_threshold_checked_first_when_crossed(self):
+        # With alpha + beta > 1 the thresholds cross; Algorithm 1 checks
+        # "score < T_low" first.
+        bits = assign_bitwidths(np.array([0.5]), t_low=0.8, t_high=0.2)
+        assert bits == [BitWidth.INT2]
+
+    def test_custom_ladder(self):
+        bits = assign_bitwidths(
+            np.array([0.0, 1.0]), 0.4, 0.6,
+            low_bits=BitWidth.INT4, high_bits=BitWidth.INT8,
+        )
+        assert bits == [BitWidth.INT4, BitWidth.INT8]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scores=st.lists(st.floats(-1, 1, allow_nan=False), min_size=1, max_size=50),
+    alpha=st.floats(0, 1),
+    beta=st.floats(0, 1),
+)
+def test_property_thresholds_within_score_range(scores, alpha, beta):
+    """Thresholds always lie inside [s_min, s_max] and assignments cover all chunks."""
+    scores = np.asarray(scores)
+    t_low, t_high = compute_thresholds(scores, alpha, beta)
+    assert scores.min() - 1e-9 <= t_low <= scores.max() + 1e-9
+    assert scores.min() - 1e-9 <= t_high <= scores.max() + 1e-9
+    bits = assign_bitwidths(scores, t_low, t_high)
+    assert len(bits) == len(scores)
+    assert set(bits) <= {BitWidth.INT2, BitWidth.INT4, BitWidth.FP16}
+
+
+class TestChunkQuantizationSearch:
+    def _search(self, alpha=0.6, beta=0.1):
+        lexicon = {"kittens": "felines", "cats": "felines"}
+        encoder = ContrieverEncoder(lexicon)
+        return ChunkQuantizationSearch(encoder, CocktailConfig(alpha=alpha, beta=beta))
+
+    def test_relevant_chunk_gets_high_precision(self):
+        search = self._search()
+        chunks = ["kittens kittens kittens", "rocks sand stones", "metal glass wood"]
+        result = search.search(chunks, "cats")
+        assert result.chunk_bits[0] is BitWidth.FP16
+        assert result.n_chunks == 3
+        assert result.search_seconds > 0
+        assert result.count(BitWidth.FP16) >= 1
+
+    def test_scores_align_with_bitwidths(self):
+        search = self._search()
+        chunks = ["kittens kittens", "rocks sand", "cats cats", "dust mud"]
+        result = search.search(chunks, "cats kittens")
+        for score, bits in zip(result.scores, result.chunk_bits):
+            if bits is BitWidth.FP16:
+                assert score > result.t_high
+            elif bits is BitWidth.INT2:
+                assert score < result.t_low
+
+    def test_empty_chunk_list_rejected(self):
+        with pytest.raises(ValueError):
+            self._search().search([], "query")
+
+    def test_fraction_helper(self):
+        search = self._search()
+        result = search.search(["kittens", "rocks", "mud", "dust"], "cats")
+        total = sum(result.fraction(bits) for bits in (BitWidth.INT2, BitWidth.INT4, BitWidth.FP16))
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import DatasetSpec, LongContextSample
+from repro.datasets.generator import SampleGenerator
+from repro.datasets.longbench import (
+    LONGBENCH_SPECS,
+    build_dataset,
+    build_vocabulary,
+    dataset_names,
+    get_dataset_spec,
+)
+from repro.datasets.vocab import Vocabulary
+
+
+class TestVocabulary:
+    def test_all_words_unique(self, vocab: Vocabulary):
+        words = vocab.all_words()
+        assert len(words) == len(set(words))
+
+    def test_lexicon_maps_synonyms_to_topics(self, vocab: Vocabulary):
+        lexicon = vocab.lexicon
+        for topic in vocab.topics[:3]:
+            concepts = {lexicon[s] for s in vocab.synonyms_of(topic)}
+            assert concepts == {topic}
+
+    def test_lexicon_maps_values_to_their_topic(self, vocab: Vocabulary):
+        lexicon = vocab.lexicon
+        per_topic = vocab.values_per_topic
+        assert lexicon[vocab.values[0]] == "topic0"
+        assert lexicon[vocab.values[per_topic]] == "topic1"
+
+    def test_filler_pools_by_style(self, vocab: Vocabulary):
+        assert vocab.filler_pool("code") == vocab.code_words
+        assert set(vocab.dialogue_words) <= set(vocab.filler_pool("dialogue"))
+        assert vocab.filler_pool("prose") == vocab.filler_words
+
+
+class TestDatasetSpec:
+    def test_registry_has_eight_datasets(self):
+        assert len(LONGBENCH_SPECS) == 8
+        assert dataset_names()[0] == "qasper"
+
+    def test_specs_match_table_one_metrics(self):
+        assert get_dataset_spec("qasper").metric == "f1"
+        assert get_dataset_spec("qmsum").metric == "rouge"
+        assert get_dataset_spec("trec").metric == "classification"
+        assert get_dataset_spec("lcc").metric == "code_sim"
+        assert get_dataset_spec("repobench-p").metric == "code_sim"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset_spec("hotpotqa")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="bad",
+                display_name="Bad",
+                task="QA",
+                metric="bleu",
+                n_context_words=100,
+                answer_length=(1, 2),
+            )
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="bad",
+                display_name="Bad",
+                task="QA",
+                metric="f1",
+                n_context_words=100,
+                answer_length=(3, 2),
+            )
+
+
+class TestSampleGenerator:
+    def test_deterministic(self, vocab, tiny_spec):
+        a = SampleGenerator(vocab, tiny_spec, seed=3).generate(0)
+        b = SampleGenerator(vocab, tiny_spec, seed=3).generate(0)
+        assert a == b
+
+    def test_different_seeds_differ(self, vocab, tiny_spec):
+        a = SampleGenerator(vocab, tiny_spec, seed=3).generate(0)
+        b = SampleGenerator(vocab, tiny_spec, seed=4).generate(0)
+        assert a.context_words != b.context_words
+
+    def test_answer_key_unique_in_context(self, tiny_samples):
+        for sample in tiny_samples:
+            assert sample.context_words.count(sample.answer_key) == 1
+
+    def test_answer_phrase_follows_key_in_context(self, tiny_samples):
+        for sample in tiny_samples:
+            key_pos = sample.context_words.index(sample.answer_key)
+            answer = sample.answer_words
+            following = sample.context_words[key_pos + 1 : key_pos + 1 + len(answer)]
+            assert following == answer
+            assert sample.context_words[key_pos + 1 + len(answer)] == "<sep>"
+
+    def test_answer_tokens_unique_in_context(self, tiny_samples):
+        for sample in tiny_samples:
+            for word in sample.answer_words:
+                assert sample.context_words.count(word) == 1
+
+    def test_query_ends_with_key(self, tiny_samples):
+        for sample in tiny_samples:
+            assert sample.query_words[-1] == sample.answer_key
+
+    def test_relevant_span_covers_answer_fact(self, tiny_samples):
+        for sample in tiny_samples:
+            start, end = sample.relevant_span
+            span_words = sample.context_words[start:end]
+            assert sample.answer_key in span_words
+
+    def test_context_length_close_to_target(self, vocab, tiny_spec):
+        sample = SampleGenerator(vocab, tiny_spec, seed=0).generate(1)
+        assert abs(len(sample.context_words) - tiny_spec.n_context_words) < 120
+
+    def test_prompt_words_structure(self, tiny_samples):
+        sample = tiny_samples[0]
+        prompt = sample.prompt_words
+        assert prompt[: sample.n_context_tokens] == sample.context_words
+        assert prompt[sample.n_context_tokens] == "<sep>"
+        assert prompt[-1] == sample.answer_key
+
+
+class TestBuildDataset:
+    def test_build_dataset_count_and_type(self, vocab):
+        samples = build_dataset("triviaqa", 3, vocab=vocab, seed=1)
+        assert len(samples) == 3
+        assert all(isinstance(s, LongContextSample) for s in samples)
+        assert all(s.metric == "f1" for s in samples)
+
+    def test_classification_answers_are_labels(self, vocab):
+        samples = build_dataset("trec", 4, vocab=vocab, seed=1)
+        for sample in samples:
+            assert sample.answer_text in vocab.labels
+
+    def test_summarization_answers_are_long(self, vocab):
+        qa = build_dataset("qasper", 2, vocab=vocab, seed=1)
+        summarization = build_dataset("multinews", 2, vocab=vocab, seed=1)
+        assert min(len(s.answer_words) for s in summarization) > max(
+            len(s.answer_words) for s in qa
+        )
+
+    def test_repobench_answer_near_context_start(self, vocab):
+        samples = build_dataset("repobench-p", 3, vocab=vocab, seed=2)
+        for sample in samples:
+            relative = sample.relevant_span[0] / sample.n_context_tokens
+            assert relative < 0.5
+
+    def test_vocabulary_builder(self):
+        vocab = build_vocabulary()
+        assert isinstance(vocab, Vocabulary)
+        assert len(vocab.all_words()) > 1000
+
+    def test_all_context_words_in_tokenizer_vocab(self, vocab, tokenizer):
+        samples = build_dataset("samsum", 1, vocab=vocab, seed=5)
+        unk = tokenizer.special.unk
+        for word in samples[0].prompt_words:
+            assert tokenizer.token_to_id(word) != unk, word

@@ -1,0 +1,102 @@
+"""Tests for the accuracy runner (small-scale Table II machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.evaluation.accuracy import (
+    AccuracyRunner,
+    build_request_for_sample,
+    evaluate_sample,
+)
+from repro.evaluation.setup import build_quantizer
+
+
+class TestRequestBuilding:
+    def test_request_matches_sample(self, tiny_samples):
+        sample = tiny_samples[0]
+        request = build_request_for_sample(sample, chunk_size=16)
+        assert request.context_len == sample.n_context_tokens
+        assert request.query_text == sample.query_text
+        assert all(end - start == 16 for start, end in request.chunk_spans)
+
+
+class TestEvaluateSample:
+    def test_fp16_scores_high(self, retrieval_model, tokenizer, tiny_samples, vocab):
+        quantizer = build_quantizer("fp16", vocab=vocab)
+        scores = [
+            evaluate_sample(
+                retrieval_model, tokenizer, sample, quantizer,
+                chunk_size=16, max_new_tokens=16,
+            )[0]
+            for sample in tiny_samples
+        ]
+        assert np.mean(scores) > 75.0
+
+    def test_prefilled_cache_reuse_matches_fresh_prefill(
+        self, retrieval_model, tokenizer, tiny_samples, vocab
+    ):
+        sample = tiny_samples[0]
+        quantizer = build_quantizer("atom", vocab=vocab)
+        fresh_score, fresh_pred = evaluate_sample(
+            retrieval_model, tokenizer, sample, quantizer, chunk_size=16, max_new_tokens=12
+        )
+        prompt = tokenizer.encode(list(sample.prompt_words))
+        cache = retrieval_model.new_cache()
+        logits = retrieval_model.prefill(prompt, cache)
+        cache.mark_context(sample.n_context_tokens)
+        shared_score, shared_pred = evaluate_sample(
+            retrieval_model, tokenizer, sample, quantizer,
+            chunk_size=16, max_new_tokens=12, prefilled=(cache, logits),
+        )
+        assert fresh_pred == shared_pred
+        assert fresh_score == pytest.approx(shared_score)
+        # The shared cache itself must not have been mutated (it was cloned).
+        assert cache.n_context == sample.n_context_tokens
+
+    def test_cocktail_at_least_as_good_as_random_assignment(
+        self, retrieval_model, tokenizer, tiny_samples, vocab
+    ):
+        config = CocktailConfig(chunk_size=16)
+        cocktail = build_quantizer("cocktail", vocab=vocab, cocktail_config=config)
+        random_search = build_quantizer(
+            "cocktail-random-search", vocab=vocab, cocktail_config=config
+        )
+        cocktail_scores, random_scores = [], []
+        for sample in tiny_samples:
+            cocktail_scores.append(
+                evaluate_sample(
+                    retrieval_model, tokenizer, sample, cocktail,
+                    chunk_size=16, max_new_tokens=16,
+                )[0]
+            )
+            random_scores.append(
+                evaluate_sample(
+                    retrieval_model, tokenizer, sample, random_search,
+                    chunk_size=16, max_new_tokens=16,
+                )[0]
+            )
+        assert np.mean(cocktail_scores) >= np.mean(random_scores)
+
+
+class TestAccuracyRunner:
+    @pytest.mark.slow
+    def test_small_run_shapes_and_ordering(self):
+        runner = AccuracyRunner(
+            model_names=["llama2-7b"],
+            datasets=["qasper", "trec"],
+            methods=["fp16", "atom", "cocktail"],
+            n_samples=2,
+            max_new_tokens=24,
+        )
+        result = runner.run()
+        scores = result.scores["llama2-7b"]
+        assert set(scores) == {"fp16", "atom", "cocktail"}
+        assert set(scores["fp16"]) == {"Qasper", "TREC"}
+        table = result.table_for_model("llama2-7b")
+        assert table.column_names[-1] == "Average"
+        assert result.average_score("llama2-7b", "fp16") >= result.average_score(
+            "llama2-7b", "atom"
+        )

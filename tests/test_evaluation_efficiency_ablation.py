@@ -1,0 +1,79 @@
+"""Tests for the efficiency tables and ablation runners (reduced grids)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.ablation import chunk_size_sweep, module_ablation
+from repro.evaluation.efficiency import (
+    memory_table,
+    representative_profile,
+    throughput_table,
+    tpot_table,
+)
+from repro.hardware.layout import LayoutKind
+from repro.quant.dtypes import BitWidth
+
+
+class TestRepresentativeProfiles:
+    def test_uniform_methods(self):
+        fp16 = representative_profile("fp16")
+        atom = representative_profile("atom")
+        assert fp16.bit_fractions == {BitWidth.FP16: 1.0}
+        assert atom.bit_fractions == {BitWidth.INT4: 1.0}
+        assert atom.layout is LayoutKind.PACKED
+
+    def test_cocktail_profile_is_mixed_and_packed(self):
+        profile = representative_profile("cocktail")
+        assert profile.layout is LayoutKind.PACKED
+        assert profile.bit_fractions.get(BitWidth.INT2, 0) > 0.3
+        assert BitWidth.FP16 in profile.bit_fractions
+        assert profile.mean_bits < 16
+        assert profile.search_seconds > 0
+
+    def test_no_reorder_profile_is_unpacked(self):
+        profile = representative_profile("cocktail-no-reorder")
+        assert profile.layout is LayoutKind.UNPACKED_MIXED
+
+    def test_kvquant_profile_is_sparse_outlier(self):
+        profile = representative_profile("kvquant")
+        assert profile.layout is LayoutKind.SPARSE_OUTLIER
+        assert profile.bit_fractions[BitWidth.INT4] > 0.9
+
+
+class TestEfficiencyTables:
+    def test_memory_table_orderings(self):
+        table = memory_table(model_names=("llama2-7b",), methods=("fp16", "atom", "cocktail"))
+        fp16 = table.get("FP16", "Llama2-7B")
+        atom = table.get("Atom", "Llama2-7B")
+        cocktail = table.get("Cocktail", "Llama2-7B")
+        assert cocktail < atom < fp16
+
+    def test_tpot_table_orderings(self):
+        table = tpot_table(model_names=("llama2-7b",), methods=("fp16", "kvquant", "cocktail"))
+        assert table.get("Cocktail", "Llama2-7B") < table.get("FP16", "Llama2-7B")
+        assert table.get("Cocktail", "Llama2-7B") < table.get("KVQuant", "Llama2-7B")
+
+    def test_throughput_table_has_oom_tail_for_fp16(self):
+        table = throughput_table(
+            methods=("fp16", "cocktail"), batch_sizes=(1, 64, 4096)
+        )
+        assert table.get("FP16", "4096") is None
+        assert table.get("Cocktail", "1") is not None
+
+
+class TestAblationRunners:
+    @pytest.mark.slow
+    def test_chunk_size_sweep_small(self):
+        table = chunk_size_sweep((32, 256), n_samples=2, max_new_tokens=48)
+        assert table.get("Cocktail", "32") >= table.get("Cocktail", "256")
+
+    @pytest.mark.slow
+    def test_module_ablation_shape(self):
+        table = module_ablation(n_samples=2, max_new_tokens=48)
+        assert set(table.column_names) == {"Score", "GPU Memory (GB)", "TPOT (us)"}
+        assert table.get("Cocktail", "GPU Memory (GB)") < table.get("FP16", "GPU Memory (GB)")
+        assert table.get("w/o Module II", "GPU Memory (GB)") > table.get(
+            "FP16", "GPU Memory (GB)"
+        )
+        assert table.get("w/o Module I", "Score") <= table.get("Cocktail", "Score")

@@ -1,0 +1,69 @@
+"""Tests for result tables and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.report import ResultTable, format_series
+
+
+@pytest.fixture()
+def table():
+    t = ResultTable("Demo", ["FP16", "Cocktail"], ["Qasper", "QMSum"])
+    t.set("FP16", "Qasper", 10.0)
+    t.set("FP16", "QMSum", 20.0)
+    t.set("Cocktail", "Qasper", 11.0)
+    t.set("Cocktail", "QMSum", None)
+    return t
+
+
+class TestResultTable:
+    def test_set_get(self, table):
+        assert table.get("FP16", "QMSum") == 20.0
+        assert table.get("Cocktail", "QMSum") is None
+
+    def test_unknown_row_or_column(self, table):
+        with pytest.raises(KeyError):
+            table.set("Atom", "Qasper", 1.0)
+        with pytest.raises(KeyError):
+            table.set("FP16", "TREC", 1.0)
+
+    def test_row_average_ignores_none(self, table):
+        assert table.row_average("FP16") == pytest.approx(15.0)
+        assert table.row_average("Cocktail") == pytest.approx(11.0)
+
+    def test_with_average_column(self, table):
+        extended = table.with_average_column()
+        assert extended.column_names[-1] == "Average"
+        assert extended.get("FP16", "Average") == pytest.approx(15.0)
+        # The original table is untouched.
+        assert "Average" not in table.column_names
+
+    def test_to_text_contains_all_cells(self, table):
+        text = table.to_text()
+        assert "Demo" in text
+        assert "10.00" in text and "OOM" in text
+        assert "Cocktail" in text
+
+    def test_to_markdown_shape(self, table):
+        markdown = table.to_markdown(precision=1)
+        lines = markdown.splitlines()
+        assert lines[2].startswith("| |")
+        assert any("11.0" in line for line in lines)
+
+    def test_to_csv(self, table):
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == ",Qasper,QMSum"
+        assert "FP16,10.0,20.0" in csv
+
+    def test_empty_row_average(self):
+        t = ResultTable("Empty", ["row"], ["col"])
+        assert t.row_average("row") is None
+
+
+class TestFormatSeries:
+    def test_includes_oom(self):
+        text = format_series("Throughput", [1, 2, 4], [10.0, None, 20.0])
+        assert "OOM" in text
+        assert "Throughput" in text
+        assert "20.00" in text

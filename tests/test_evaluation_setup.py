@@ -1,0 +1,69 @@
+"""Tests for the experiment-harness builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import KVCacheQuantizer
+from repro.core.config import CocktailConfig
+from repro.core.quantizer import (
+    CocktailQuantizer,
+    NoReorderCocktailQuantizer,
+    RandomSearchCocktailQuantizer,
+)
+from repro.evaluation.setup import (
+    DEFAULT_METHODS,
+    build_model,
+    build_quantizer,
+    build_tokenizer,
+    method_display_name,
+    shared_vocabulary,
+)
+from repro.model.config import SIM_MODEL_NAMES
+
+
+class TestSetup:
+    def test_default_methods_match_table2(self):
+        assert DEFAULT_METHODS == ("fp16", "atom", "kivi", "kvquant", "cocktail")
+
+    def test_shared_vocabulary_cached(self):
+        assert shared_vocabulary() is shared_vocabulary()
+
+    def test_tokenizer_covers_vocab(self):
+        vocab = shared_vocabulary()
+        tokenizer = build_tokenizer(vocab)
+        assert tokenizer.vocab_size == len(vocab.all_words()) + 5
+
+    def test_build_models_for_all_presets(self):
+        tokenizer = build_tokenizer()
+        for name in SIM_MODEL_NAMES:
+            model = build_model(name, tokenizer, max_seq_len=256)
+            assert model.config.vocab_size == tokenizer.vocab_size
+
+    def test_build_quantizers(self):
+        for method in DEFAULT_METHODS:
+            quantizer = build_quantizer(method)
+            assert isinstance(quantizer, KVCacheQuantizer)
+        assert isinstance(build_quantizer("cocktail"), CocktailQuantizer)
+        assert isinstance(
+            build_quantizer("cocktail-random-search"), RandomSearchCocktailQuantizer
+        )
+        assert isinstance(build_quantizer("cocktail-no-reorder"), NoReorderCocktailQuantizer)
+
+    def test_build_quantizer_with_encoder_override(self):
+        quantizer = build_quantizer("cocktail", encoder_name="bm25")
+        assert quantizer.encoder.name == "bm25"
+
+    def test_build_quantizer_with_config(self):
+        config = CocktailConfig(chunk_size=64, alpha=0.3)
+        quantizer = build_quantizer("cocktail", cocktail_config=config)
+        assert quantizer.config.chunk_size == 64
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            build_quantizer("gptq")
+
+    def test_display_names(self):
+        assert method_display_name("fp16") == "FP16"
+        assert method_display_name("cocktail-no-reorder") == "w/o Module II"
+        assert method_display_name("mystery") == "mystery"

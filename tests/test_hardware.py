@@ -1,0 +1,233 @@
+"""Tests for the analytic GPU cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import KVQuantizationPlan
+from repro.hardware.gpu import A100_40GB, A800_80GB
+from repro.hardware.latency import (
+    search_latency_seconds,
+    tpot_microseconds,
+    tpot_seconds,
+)
+from repro.hardware.layout import KVCacheProfile, LayoutKind, classify_layout
+from repro.hardware.memory import (
+    fits_in_memory,
+    gpu_memory_gb,
+    kv_cache_bytes,
+    kv_cache_bytes_per_token,
+)
+from repro.hardware.throughput import (
+    max_batch_size,
+    throughput_curve,
+    throughput_tokens_per_second,
+)
+from repro.model.config import get_model_spec
+from repro.quant.dtypes import BitWidth
+
+_SPEC = get_model_spec("llama2-7b")
+
+
+def _profile(fractions, *, reordered=True, method="cocktail", search=0.0):
+    return KVCacheProfile(
+        method=method,
+        bit_fractions=fractions,
+        reordered=reordered,
+        layout=classify_layout(fractions, reordered),
+        search_seconds=search,
+    )
+
+
+FP16_PROFILE = KVCacheProfile.uniform("fp16", BitWidth.FP16)
+INT4_PROFILE = KVCacheProfile.uniform("atom", BitWidth.INT4)
+# A representative Cocktail precision mix: most chunks are irrelevant (INT2).
+COCKTAIL_PROFILE = _profile(
+    {BitWidth.INT2: 0.8, BitWidth.INT4: 0.12, BitWidth.FP16: 0.08}, reordered=True
+)
+NOREORDER_PROFILE = _profile(
+    {BitWidth.INT2: 0.8, BitWidth.INT4: 0.12, BitWidth.FP16: 0.08},
+    reordered=False,
+    method="cocktail-no-reorder",
+)
+KVQUANT_PROFILE = _profile(
+    {BitWidth.INT4: 0.99, BitWidth.FP16: 0.01}, reordered=False, method="kvquant"
+)
+
+
+class TestLayout:
+    def test_classify_packed(self):
+        assert classify_layout({BitWidth.INT4: 1.0}, reordered=False) is LayoutKind.PACKED
+        assert (
+            classify_layout({BitWidth.INT2: 0.5, BitWidth.FP16: 0.5}, reordered=True)
+            is LayoutKind.PACKED
+        )
+
+    def test_classify_sparse_outlier(self):
+        assert (
+            classify_layout({BitWidth.INT4: 0.99, BitWidth.FP16: 0.01}, reordered=False)
+            is LayoutKind.SPARSE_OUTLIER
+        )
+
+    def test_classify_unpacked(self):
+        assert (
+            classify_layout(
+                {BitWidth.INT2: 0.5, BitWidth.INT4: 0.3, BitWidth.FP16: 0.2}, reordered=False
+            )
+            is LayoutKind.UNPACKED_MIXED
+        )
+
+    def test_profile_from_plan(self):
+        plan = KVQuantizationPlan(
+            method="cocktail",
+            context_len=10,
+            token_bits=np.array([2] * 6 + [4] * 3 + [16]),
+            reordered=True,
+            search_seconds=0.05,
+        )
+        profile = KVCacheProfile.from_plan(plan, chunk_size=5)
+        assert profile.layout is LayoutKind.PACKED
+        assert profile.mean_bits == pytest.approx(4.0)
+        assert profile.quantized_fraction == pytest.approx(0.9)
+        assert profile.search_seconds == 0.05
+
+    def test_profile_fraction_validation(self):
+        with pytest.raises(ValueError):
+            KVCacheProfile(
+                method="x",
+                bit_fractions={BitWidth.INT4: 0.5},
+                reordered=True,
+                layout=LayoutKind.PACKED,
+            )
+
+
+class TestMemoryModel:
+    def test_more_bits_more_bytes(self):
+        per_token = [
+            kv_cache_bytes_per_token(_SPEC, _profile({bits: 1.0}))
+            for bits in (BitWidth.INT2, BitWidth.INT4, BitWidth.INT8, BitWidth.FP16)
+        ]
+        assert per_token == sorted(per_token)
+
+    def test_quantized_methods_use_less_memory_than_fp16(self):
+        fp16 = gpu_memory_gb(_SPEC, FP16_PROFILE, 3600)
+        for profile in (INT4_PROFILE, COCKTAIL_PROFILE, KVQUANT_PROFILE):
+            assert gpu_memory_gb(_SPEC, profile, 3600) < fp16
+
+    def test_cocktail_uses_least_memory(self):
+        cocktail = gpu_memory_gb(_SPEC, COCKTAIL_PROFILE, 3600)
+        for profile in (FP16_PROFILE, INT4_PROFILE, KVQUANT_PROFILE, NOREORDER_PROFILE):
+            assert cocktail < gpu_memory_gb(_SPEC, profile, 3600)
+
+    def test_unreordered_mixed_precision_worse_than_fp16(self):
+        """Table V: dropping module II costs more memory than the FP16 baseline."""
+        assert gpu_memory_gb(_SPEC, NOREORDER_PROFILE, 3600) > gpu_memory_gb(
+            _SPEC, FP16_PROFILE, 3600
+        )
+
+    def test_memory_grows_with_batch_and_context(self):
+        small = gpu_memory_gb(_SPEC, FP16_PROFILE, 1000, batch_size=1)
+        large_ctx = gpu_memory_gb(_SPEC, FP16_PROFILE, 4000, batch_size=1)
+        large_batch = gpu_memory_gb(_SPEC, FP16_PROFILE, 1000, batch_size=8)
+        assert large_ctx > small
+        assert large_batch > small
+
+    def test_memory_in_plausible_range_for_7b(self):
+        value = gpu_memory_gb(_SPEC, FP16_PROFILE, 3600)
+        assert 10 < value < 40
+
+    def test_fits_in_memory(self):
+        assert fits_in_memory(_SPEC, A800_80GB, FP16_PROFILE, 3600, batch_size=1)
+        assert not fits_in_memory(_SPEC, A100_40GB, FP16_PROFILE, 3600, batch_size=200)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes(_SPEC, FP16_PROFILE, -1)
+        with pytest.raises(ValueError):
+            gpu_memory_gb(_SPEC, FP16_PROFILE, 100, batch_size=0)
+
+
+class TestLatencyModel:
+    def test_quantized_faster_than_fp16(self):
+        fp16 = tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 3600)
+        for profile in (INT4_PROFILE, COCKTAIL_PROFILE, KVQUANT_PROFILE):
+            assert tpot_seconds(_SPEC, A800_80GB, profile, 3600) < fp16
+
+    def test_cocktail_fastest(self):
+        cocktail = tpot_seconds(_SPEC, A800_80GB, COCKTAIL_PROFILE, 3600)
+        for profile in (FP16_PROFILE, INT4_PROFILE, KVQUANT_PROFILE, NOREORDER_PROFILE):
+            assert cocktail < tpot_seconds(_SPEC, A800_80GB, profile, 3600)
+
+    def test_no_reorder_slower_than_fp16(self):
+        """Table V: dropping module II makes decoding slower than FP16."""
+        assert tpot_seconds(_SPEC, A800_80GB, NOREORDER_PROFILE, 3600) > tpot_seconds(
+            _SPEC, A800_80GB, FP16_PROFILE, 3600
+        )
+
+    def test_tpot_grows_with_context_and_batch(self):
+        base = tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 1000)
+        assert tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 4000) > base
+        assert tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 1000, batch_size=8) > base
+
+    def test_tpot_microseconds_scale(self):
+        assert tpot_microseconds(_SPEC, A800_80GB, FP16_PROFILE, 3600) == pytest.approx(
+            tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 3600) * 1e6
+        )
+
+    def test_search_latency_by_method(self):
+        cocktail = _profile(
+            {BitWidth.INT2: 0.5, BitWidth.FP16: 0.5}, method="cocktail"
+        )
+        kvquant = KVQUANT_PROFILE
+        fp16 = FP16_PROFILE
+        s_cocktail = search_latency_seconds(cocktail, _SPEC, 3600)
+        s_kvquant = search_latency_seconds(kvquant, _SPEC, 3600)
+        assert search_latency_seconds(fp16, _SPEC, 3600) == 0.0
+        assert 0 < s_cocktail < s_kvquant
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            tpot_seconds(_SPEC, A800_80GB, FP16_PROFILE, 100, batch_size=0)
+
+
+class TestThroughputModel:
+    def test_oom_returns_none(self):
+        batch = max_batch_size(_SPEC, A800_80GB, FP16_PROFILE, 2048)
+        assert batch > 0
+        assert throughput_tokens_per_second(_SPEC, A800_80GB, FP16_PROFILE, 2048, batch) is not None
+        assert (
+            throughput_tokens_per_second(_SPEC, A800_80GB, FP16_PROFILE, 2048, batch + 1) is None
+        )
+
+    def test_quantized_methods_sustain_larger_batches(self):
+        fp16_max = max_batch_size(_SPEC, A800_80GB, FP16_PROFILE, 2048)
+        cocktail_max = max_batch_size(_SPEC, A800_80GB, COCKTAIL_PROFILE, 2048)
+        assert cocktail_max > fp16_max
+
+    def test_figure6_crossover(self):
+        """Cocktail starts below the uniform methods (search cost) and overtakes them."""
+        cocktail = COCKTAIL_PROFILE
+        atom = INT4_PROFILE
+        small_cocktail = throughput_tokens_per_second(_SPEC, A800_80GB, cocktail, 2048, 1)
+        small_atom = throughput_tokens_per_second(_SPEC, A800_80GB, atom, 2048, 1)
+        assert small_cocktail < small_atom
+        big_cocktail = throughput_tokens_per_second(_SPEC, A800_80GB, cocktail, 2048, 64)
+        big_atom = throughput_tokens_per_second(_SPEC, A800_80GB, atom, 2048, 64)
+        assert big_cocktail > big_atom
+
+    def test_cocktail_always_beats_kvquant(self):
+        cocktail = COCKTAIL_PROFILE
+        for batch in (1, 8, 64):
+            assert throughput_tokens_per_second(
+                _SPEC, A800_80GB, cocktail, 2048, batch
+            ) > throughput_tokens_per_second(_SPEC, A800_80GB, KVQUANT_PROFILE, 2048, batch)
+
+    def test_throughput_curve_marks_oom_tail(self):
+        curve = throughput_curve(_SPEC, A800_80GB, FP16_PROFILE, 2048, [1, 8, 4096])
+        assert curve[0] is not None and curve[1] is not None
+        assert curve[-1] is None
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            throughput_tokens_per_second(_SPEC, A800_80GB, FP16_PROFILE, 2048, 0)

@@ -1,0 +1,132 @@
+"""Integration tests for the paper's headline qualitative claims (small scale).
+
+These tests exercise the full stack — synthetic datasets, the constructed
+retrieval model, chunk-level search with a real encoder, quantization, decode
+and metrics — on a reduced grid, and assert the *shape* of the paper's
+results rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.datasets.generator import SampleGenerator
+from repro.evaluation.accuracy import evaluate_sample
+from repro.evaluation.setup import build_model, build_quantizer, build_tokenizer, shared_vocabulary
+
+
+@pytest.fixture(scope="module")
+def harness():
+    """A small shared evaluation harness (one model, a few samples)."""
+    vocab = shared_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model("llama2-7b", tokenizer, max_seq_len=1024)
+    from repro.datasets.base import DatasetSpec
+
+    qa_spec = DatasetSpec(
+        name="mini-qa",
+        display_name="MiniQA",
+        task="Single-Document QA",
+        metric="f1",
+        n_context_words=420,
+        answer_length=(6, 10),
+        n_related_facts=1,
+        n_distractor_facts=6,
+        n_trap_chunks=1,
+    )
+    summ_spec = DatasetSpec(
+        name="mini-summ",
+        display_name="MiniSumm",
+        task="Summarization",
+        metric="rouge",
+        n_context_words=480,
+        answer_length=(24, 32),
+        n_related_facts=2,
+        n_distractor_facts=6,
+        n_trap_chunks=1,
+    )
+    qa_samples = SampleGenerator(vocab, qa_spec, seed=21).generate_many(3)
+    summ_samples = SampleGenerator(vocab, summ_spec, seed=22).generate_many(3)
+    return vocab, tokenizer, model, qa_samples + summ_samples
+
+
+def _scores(harness, method, *, cocktail_config=None, encoder_name=None, chunk_size=32):
+    vocab, tokenizer, model, samples = harness
+    quantizer = build_quantizer(
+        method,
+        vocab=vocab,
+        cocktail_config=cocktail_config or CocktailConfig(chunk_size=chunk_size),
+        encoder_name=encoder_name,
+    )
+    return np.array(
+        [
+            evaluate_sample(
+                model, tokenizer, sample, quantizer, chunk_size=chunk_size, max_new_tokens=40
+            )[0]
+            for sample in samples
+        ]
+    )
+
+
+class TestTable2Shape:
+    def test_method_ordering(self, harness):
+        """FP16 >= Cocktail >= uniform INT4 baselines, with Cocktail near FP16."""
+        fp16 = _scores(harness, "fp16").mean()
+        atom = _scores(harness, "atom").mean()
+        kivi = _scores(harness, "kivi").mean()
+        cocktail = _scores(harness, "cocktail").mean()
+        assert fp16 >= cocktail - 1e-6
+        assert cocktail >= atom
+        assert cocktail >= kivi
+        assert fp16 - cocktail <= 10.0
+
+    def test_kvquant_beats_plain_uniform_quantization(self, harness):
+        kvquant = _scores(harness, "kvquant").mean()
+        atom = _scores(harness, "atom").mean()
+        assert kvquant >= atom
+
+
+class TestAnalysisShapes:
+    def test_large_chunks_hurt_accuracy(self, harness):
+        """Table III: very coarse chunks dilute relevance and lose accuracy."""
+        fine = _scores(harness, "cocktail", cocktail_config=CocktailConfig(chunk_size=32),
+                       chunk_size=32).mean()
+        coarse = _scores(harness, "cocktail", cocktail_config=CocktailConfig(chunk_size=256),
+                         chunk_size=256).mean()
+        assert fine >= coarse
+
+    def test_large_alpha_hurts_accuracy(self, harness):
+        """Figure 7: pushing more chunks to INT2 (large alpha) costs accuracy."""
+        default = _scores(
+            harness, "cocktail", cocktail_config=CocktailConfig(alpha=0.6, beta=0.1)
+        ).mean()
+        aggressive = _scores(
+            harness, "cocktail", cocktail_config=CocktailConfig(alpha=0.98, beta=0.01)
+        ).mean()
+        assert default >= aggressive
+
+    def test_contriever_beats_bm25_as_search_encoder(self, harness):
+        """Table IV: the semantic encoder outperforms the lexical scorer."""
+        contriever = _scores(harness, "cocktail", encoder_name="contriever").mean()
+        bm25 = _scores(
+            harness,
+            "cocktail",
+            cocktail_config=CocktailConfig(encoder_name="bm25"),
+            encoder_name="bm25",
+        ).mean()
+        assert contriever >= bm25
+
+    def test_removing_search_module_hurts_accuracy(self, harness):
+        """Table V: random chunk assignment (w/o module I) loses accuracy."""
+        cocktail = _scores(harness, "cocktail").mean()
+        random_assignment = _scores(harness, "cocktail-random-search").mean()
+        assert cocktail > random_assignment
+
+    def test_removing_reordering_keeps_accuracy(self, harness):
+        """Table V: w/o module II accuracy matches Cocktail (costs show up in
+        the hardware model instead)."""
+        cocktail = _scores(harness, "cocktail")
+        no_reorder = _scores(harness, "cocktail-no-reorder")
+        np.testing.assert_allclose(cocktail, no_reorder, atol=1e-6)

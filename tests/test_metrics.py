@@ -1,0 +1,107 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import classification_score
+from repro.metrics.code_similarity import edit_similarity
+from repro.metrics.f1 import token_f1
+from repro.metrics.registry import METRIC_NAMES, compute_metric, metric_for_dataset
+from repro.metrics.rouge import rouge_l, rouge_n, rouge_score
+
+_WORDS = st.lists(st.sampled_from("alpha beta gamma delta epsilon".split()), max_size=12)
+
+
+class TestTokenF1:
+    def test_perfect_match(self):
+        assert token_f1("a b c", "a b c") == 100.0
+
+    def test_no_overlap(self):
+        assert token_f1("a b", "c d") == 0.0
+
+    def test_partial_overlap(self):
+        # 2 common tokens, precision 2/3, recall 2/4 -> F1 = 4/7
+        assert token_f1("a b x", "a b c d") == pytest.approx(100 * 4 / 7)
+
+    def test_case_insensitive(self):
+        assert token_f1("A B", "a b") == 100.0
+
+    def test_empty_cases(self):
+        assert token_f1("", "") == 100.0
+        assert token_f1("", "a") == 0.0
+        assert token_f1("a", "") == 0.0
+
+    def test_multiplicity_counted(self):
+        assert token_f1("a a", "a") < 100.0
+
+
+class TestRouge:
+    def test_rouge1_perfect(self):
+        assert rouge_n("x y z", "x y z", 1) == 100.0
+
+    def test_rouge2_order_sensitive(self):
+        assert rouge_n("a b c", "c b a", 2) == 0.0
+        assert rouge_n("a b c", "a b c", 2) == 100.0
+
+    def test_rouge_l_subsequence(self):
+        # LCS("a b c d", "a x b d") = "a b d" (3), prec 3/4, rec 3/4
+        assert rouge_l("a x b d", "a b c d") == pytest.approx(75.0)
+
+    def test_rouge_score_is_mean(self):
+        value = rouge_score("a b c", "a b c")
+        assert value == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert rouge_l("", "") == 100.0
+        assert rouge_l("a", "") == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            rouge_n("a", "a", 0)
+
+
+class TestClassificationAndCode:
+    def test_classification_first_token(self):
+        assert classification_score("label1 junk junk", "label1") == 100.0
+        assert classification_score("label2", "label1") == 0.0
+        assert classification_score("", "label1") == 0.0
+
+    def test_edit_similarity_identical(self):
+        assert edit_similarity("for i in range", "for i in range") == 100.0
+
+    def test_edit_similarity_substitution(self):
+        assert edit_similarity("a b c d", "a b x d") == pytest.approx(75.0)
+
+    def test_edit_similarity_empty(self):
+        assert edit_similarity("", "") == 100.0
+        assert edit_similarity("a b", "") == 0.0
+
+
+class TestRegistry:
+    def test_known_metrics(self):
+        assert set(METRIC_NAMES) == {"f1", "rouge", "classification", "code_sim"}
+
+    def test_compute_metric_dispatch(self):
+        assert compute_metric("f1", "a", "a") == 100.0
+        assert compute_metric("code_sim", "a", "a") == 100.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            compute_metric("bleu", "a", "a")
+        with pytest.raises(KeyError):
+            metric_for_dataset("bleu")
+
+
+@settings(max_examples=60, deadline=None)
+@given(pred=_WORDS, ref=_WORDS)
+def test_property_metrics_bounded_and_symmetric_perfection(pred, ref):
+    """All metrics stay in [0, 100] and give 100 on exact matches."""
+    pred_text = " ".join(pred)
+    ref_text = " ".join(ref)
+    for metric in METRIC_NAMES:
+        value = compute_metric(metric, pred_text, ref_text)
+        assert 0.0 <= value <= 100.0
+        assert compute_metric(metric, ref_text, ref_text) == 100.0

@@ -1,0 +1,116 @@
+"""Tests for model configurations and paper-scale specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.config import (
+    MODEL_SPECS,
+    SIM_MODEL_NAMES,
+    ModelConfig,
+    RetrievalLayout,
+    get_model_spec,
+    get_sim_config,
+)
+from repro.quant.dtypes import BitWidth
+
+
+class TestRetrievalLayout:
+    def test_slices_partition_d_model(self):
+        layout = RetrievalLayout(d_tok=64, d_pos=32)
+        slices = [
+            layout.tok_slice,
+            layout.prev_slice,
+            layout.out_slice,
+            layout.pos_slice,
+            layout.pos_next_slice,
+        ]
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(layout.d_model))
+        assert layout.d_model == 3 * 64 + 2 * 32
+
+
+class TestModelConfig:
+    def test_valid_config(self):
+        config = ModelConfig(
+            name="test", vocab_size=100, d_model=64, n_layers=2, n_heads=4,
+            n_kv_heads=2, d_ff=128, max_seq_len=256,
+        )
+        assert config.head_dim == 16
+        assert config.gqa_group == 2
+
+    def test_d_model_head_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="t", vocab_size=10, d_model=65, n_layers=1, n_heads=4,
+                n_kv_heads=4, d_ff=8, max_seq_len=16,
+            )
+
+    def test_gqa_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="t", vocab_size=10, d_model=64, n_layers=1, n_heads=4,
+                n_kv_heads=3, d_ff=8, max_seq_len=16,
+            )
+
+    def test_unknown_positional(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="t", vocab_size=10, d_model=64, n_layers=1, n_heads=4,
+                n_kv_heads=4, d_ff=8, max_seq_len=16, positional="alibi",
+            )
+
+    def test_retrieval_layout_must_match_width(self):
+        layout = RetrievalLayout(d_tok=64, d_pos=32)
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="t", vocab_size=10, d_model=128, n_layers=2, n_heads=4,
+                n_kv_heads=4, d_ff=8, max_seq_len=16, retrieval_layout=layout,
+            )
+
+    def test_sim_configs_for_all_models(self):
+        for name in SIM_MODEL_NAMES:
+            config = get_sim_config(name, vocab_size=500)
+            assert config.retrieval_layout is not None
+            assert config.head_dim >= config.retrieval_layout.d_tok
+            assert config.n_layers >= 2
+
+    def test_sim_config_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_sim_config("gpt-5", vocab_size=10)
+
+
+class TestModelSpec:
+    def test_four_paper_models(self):
+        assert set(MODEL_SPECS) == {"llama2-7b", "llama2-13b", "mistral-7b", "longchat-7b"}
+
+    def test_parameter_counts_in_expected_ranges(self):
+        params_7b = get_model_spec("llama2-7b").n_parameters
+        params_13b = get_model_spec("llama2-13b").n_parameters
+        assert 6e9 < params_7b < 8e9
+        assert 12e9 < params_13b < 15e9
+        assert params_13b > params_7b
+
+    def test_weight_bytes_fp16(self):
+        spec = get_model_spec("llama2-7b")
+        assert spec.weight_bytes() == spec.n_parameters * 2
+
+    def test_mistral_uses_gqa(self):
+        mistral = get_model_spec("mistral-7b")
+        llama = get_model_spec("llama2-7b")
+        assert mistral.n_kv_heads < mistral.n_heads
+        assert mistral.kv_bytes_per_token() < llama.kv_bytes_per_token()
+
+    def test_kv_bytes_scale_with_bits(self):
+        spec = get_model_spec("llama2-7b")
+        assert spec.kv_bytes_per_token(BitWidth.INT4) * 4 == spec.kv_bytes_per_token(BitWidth.FP16)
+
+    def test_long_context_models(self):
+        assert get_model_spec("longchat-7b").max_context == 32768
+        assert get_model_spec("llama2-7b").max_context == 4096
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            get_model_spec("opt-175b")

@@ -1,0 +1,105 @@
+"""Tests for the dense KV cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.kv_cache import LayerKVCache, ModelKVCache
+
+
+class TestLayerKVCache:
+    def test_append_and_read(self, rng):
+        cache = LayerKVCache(n_kv_heads=2, head_dim=4, capacity=10)
+        k = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        v = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        cache.append(k, v)
+        assert cache.length == 3
+        np.testing.assert_array_equal(cache.keys(), k)
+        np.testing.assert_array_equal(cache.values(), v)
+
+    def test_overflow_raises(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=2)
+        kv = rng.normal(size=(3, 1, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            cache.append(kv, kv)
+
+    def test_shape_mismatch_raises(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=4)
+        with pytest.raises(ValueError):
+            cache.append(rng.normal(size=(1, 1, 2)), rng.normal(size=(2, 1, 2)))
+
+    def test_overwrite_prefix(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=4)
+        kv = rng.normal(size=(3, 1, 2)).astype(np.float32)
+        cache.append(kv, kv)
+        new = np.zeros((2, 1, 2), dtype=np.float32)
+        cache.overwrite_prefix(new, new)
+        np.testing.assert_array_equal(cache.keys()[:2], new)
+        np.testing.assert_array_equal(cache.keys()[2], kv[2])
+
+    def test_clone_is_independent(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=4)
+        kv = rng.normal(size=(2, 1, 2)).astype(np.float32)
+        cache.append(kv, kv)
+        clone = cache.clone()
+        clone.k[0] = 0.0
+        assert not np.allclose(cache.k[0], 0.0)
+        assert clone.length == cache.length
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LayerKVCache(n_kv_heads=1, head_dim=2, capacity=0)
+
+
+class TestModelKVCache:
+    def _filled(self, rng, n_layers=3, n=5):
+        cache = ModelKVCache(n_layers=n_layers, n_kv_heads=2, head_dim=4, capacity=16)
+        for layer in cache.layers:
+            kv = rng.normal(size=(n, 2, 4)).astype(np.float32)
+            layer.append(kv, kv.copy())
+        return cache
+
+    def test_length_and_layers(self, rng):
+        cache = self._filled(rng)
+        assert cache.length == 5
+        assert cache.layer(1) is cache.layers[1]
+
+    def test_mark_context_bounds(self, rng):
+        cache = self._filled(rng)
+        cache.mark_context(3)
+        assert cache.n_context == 3
+        with pytest.raises(ValueError):
+            cache.mark_context(99)
+
+    def test_context_kv_roundtrip(self, rng):
+        cache = self._filled(rng)
+        cache.mark_context(4)
+        k, v = cache.context_kv(0)
+        assert k.shape == (4, 2, 4)
+        new_k = np.zeros_like(k)
+        cache.replace_context_kv(0, new_k, v)
+        np.testing.assert_array_equal(cache.layer(0).keys()[:4], new_k)
+        # Row 4 (non-context) untouched.
+        assert not np.allclose(cache.layer(0).keys()[4], 0.0)
+
+    def test_replace_context_requires_full_region(self, rng):
+        cache = self._filled(rng)
+        cache.mark_context(4)
+        with pytest.raises(ValueError):
+            cache.replace_context_kv(0, np.zeros((2, 2, 4)), np.zeros((2, 2, 4)))
+
+    def test_clone_deep_copies_all_layers(self, rng):
+        cache = self._filled(rng)
+        cache.mark_context(2)
+        clone = cache.clone()
+        clone.layer(2).k[:] = 0
+        assert not np.allclose(cache.layer(2).k, 0)
+        assert clone.n_context == 2
+        assert clone.length == cache.length
+
+    def test_snapshot_copies(self, rng):
+        cache = self._filled(rng)
+        snap = cache.snapshot()
+        snap[0][0][:] = 0
+        assert not np.allclose(cache.layer(0).keys(), 0)

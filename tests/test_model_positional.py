@@ -1,0 +1,79 @@
+"""Tests for positional encodings (random codes, sinusoidal, RoPE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.positional import (
+    apply_rope,
+    random_position_codes,
+    rope_frequencies,
+    sinusoidal_position_codes,
+)
+
+
+class TestRandomPositionCodes:
+    def test_unit_norm(self):
+        codes = random_position_codes(50, 32, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(codes, axis=1), 1.0, atol=1e-5)
+
+    def test_deterministic(self):
+        a = random_position_codes(10, 16, seed=2)
+        b = random_position_codes(10, 16, seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_near_orthogonal(self):
+        codes = random_position_codes(64, 64, seed=0)
+        gram = codes @ codes.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.6
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_position_codes(0, 8, seed=0)
+
+
+class TestSinusoidal:
+    def test_shape_and_range(self):
+        codes = sinusoidal_position_codes(20, 16)
+        assert codes.shape == (20, 16)
+        assert np.abs(codes).max() <= 1.0 + 1e-6
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_position_codes(4, 7)
+
+
+class TestRope:
+    def test_preserves_norm(self, rng):
+        x = rng.normal(size=(6, 2, 16)).astype(np.float32)
+        rotated = apply_rope(x, np.arange(6))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-5
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+        np.testing.assert_allclose(apply_rope(x, np.array([0])), x, atol=1e-6)
+
+    def test_relative_property(self, rng):
+        """RoPE dot products depend only on the position difference."""
+        q = rng.normal(size=(1, 1, 32)).astype(np.float32)
+        k = rng.normal(size=(1, 1, 32)).astype(np.float32)
+        def dot(pq, pk):
+            qr = apply_rope(q, np.array([pq]))[0, 0]
+            kr = apply_rope(k, np.array([pk]))[0, 0]
+            return float(qr @ kr)
+        assert dot(5, 3) == pytest.approx(dot(12, 10), rel=1e-4)
+        assert dot(5, 3) != pytest.approx(dot(5, 4), rel=1e-3)
+
+    def test_rejects_odd_head_dim(self, rng):
+        with pytest.raises(ValueError):
+            apply_rope(rng.normal(size=(2, 1, 7)), np.arange(2))
+        with pytest.raises(ValueError):
+            rope_frequencies(7)
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            apply_rope(rng.normal(size=(2, 8)), np.arange(2))

@@ -1,0 +1,129 @@
+"""Tests for the constructed associative-recall model.
+
+These tests verify the mechanism the whole evaluation rests on: the model
+copies the phrase following the query key from the context, full-precision
+recall is reliable, and recall degrades through the KV cache exactly the way
+the paper's method exploits (INT2 on the relevant region destroys the answer,
+INT2 on irrelevant regions is harmless).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.f1 import token_f1
+from repro.model.config import get_sim_config
+from repro.model.weights import build_retrieval_weights, build_token_identities
+from repro.quant.dtypes import BitWidth
+from repro.quant.group import group_quantize
+
+
+def _run_sample(model, tokenizer, sample, *, quantize_span=None, bits=BitWidth.INT2,
+                max_new_tokens=24):
+    """Generate an answer, optionally fake-quantizing a context span's KV."""
+    prompt = tokenizer.encode(list(sample.prompt_words))
+    cache = model.new_cache()
+    logits = model.prefill(prompt, cache)
+    cache.mark_context(sample.n_context_tokens)
+    if quantize_span is not None:
+        start, end = quantize_span
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            head_dim = k.shape[-1]
+            k[start:end] = group_quantize(k[start:end], bits, head_dim).dequantize()
+            v[start:end] = group_quantize(v[start:end], bits, head_dim).dequantize()
+            cache.replace_context_kv(layer_index, k, v)
+    result = model.generate_from_cache(
+        cache, logits, max_new_tokens=max_new_tokens,
+        stop_ids=(tokenizer.eos_id, tokenizer.sep_id),
+    )
+    return tokenizer.decode(result.token_ids)
+
+
+class TestTokenIdentities:
+    def test_identities_unit_norm_and_orthogonal_to_register(self):
+        identities, register = build_token_identities(100, 32, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(identities, axis=1), 1.0, atol=1e-5)
+        np.testing.assert_allclose(identities @ register, 0.0, atol=1e-5)
+        assert np.linalg.norm(register) == pytest.approx(1.0, abs=1e-5)
+
+
+class TestConstructionValidation:
+    def test_requires_layout(self, tokenizer):
+        config = get_sim_config("llama2-7b", tokenizer.vocab_size)
+        bad = config.__class__(**{**config.__dict__, "retrieval_layout": None, "d_model": config.d_model})
+        with pytest.raises(ValueError):
+            build_retrieval_weights(bad)
+
+    def test_builds_for_all_paper_models(self, tokenizer):
+        from repro.model.config import SIM_MODEL_NAMES
+
+        for name in SIM_MODEL_NAMES:
+            config = get_sim_config(name, tokenizer.vocab_size, max_seq_len=128)
+            weights = build_retrieval_weights(config)
+            assert weights.embedding.shape == (tokenizer.vocab_size, config.d_model)
+            assert len(weights.blocks) == config.n_layers
+
+
+class TestAssociativeRecall:
+    def test_full_precision_recall(self, retrieval_model, tokenizer, tiny_samples):
+        """With an FP16 cache the model reproduces the planted answers."""
+        scores = [
+            token_f1(_run_sample(retrieval_model, tokenizer, s), s.answer_text)
+            for s in tiny_samples
+        ]
+        assert np.mean(scores) > 80.0
+
+    def test_int2_on_relevant_span_destroys_answer(self, retrieval_model, tokenizer, tiny_samples):
+        """Quantizing the answer fact's KV to INT2 loses the answer."""
+        fp16_scores, int2_scores = [], []
+        for sample in tiny_samples:
+            fp16_scores.append(
+                token_f1(_run_sample(retrieval_model, tokenizer, sample), sample.answer_text)
+            )
+            int2_scores.append(
+                token_f1(
+                    _run_sample(
+                        retrieval_model, tokenizer, sample,
+                        quantize_span=sample.relevant_span, bits=BitWidth.INT2,
+                    ),
+                    sample.answer_text,
+                )
+            )
+        assert np.mean(int2_scores) < np.mean(fp16_scores) - 30.0
+
+    def test_int2_on_irrelevant_region_is_harmless(self, retrieval_model, tokenizer, tiny_samples):
+        """Quantizing context far away from the answer barely moves the score."""
+        sample = tiny_samples[0]
+        start, end = sample.relevant_span
+        # Pick the larger irrelevant side of the context.
+        if start > sample.n_context_tokens - end:
+            span = (0, max(start - 5, 0))
+        else:
+            span = (min(end + 5, sample.n_context_tokens), sample.n_context_tokens)
+        baseline = token_f1(_run_sample(retrieval_model, tokenizer, sample), sample.answer_text)
+        quantized = token_f1(
+            _run_sample(retrieval_model, tokenizer, sample, quantize_span=span, bits=BitWidth.INT2),
+            sample.answer_text,
+        )
+        assert quantized >= baseline - 15.0
+
+    def test_int4_on_relevant_span_better_than_int2(self, retrieval_model, tokenizer, tiny_samples):
+        int4, int2 = [], []
+        for sample in tiny_samples:
+            int4.append(
+                token_f1(
+                    _run_sample(retrieval_model, tokenizer, sample,
+                                quantize_span=sample.relevant_span, bits=BitWidth.INT4),
+                    sample.answer_text,
+                )
+            )
+            int2.append(
+                token_f1(
+                    _run_sample(retrieval_model, tokenizer, sample,
+                                quantize_span=sample.relevant_span, bits=BitWidth.INT2),
+                    sample.answer_text,
+                )
+            )
+        assert np.mean(int4) > np.mean(int2)

@@ -1,0 +1,53 @@
+"""Tests for the word-level tokenizer."""
+
+from __future__ import annotations
+
+from repro.model.tokenizer import SpecialTokens, Tokenizer
+
+
+class TestTokenizer:
+    def test_special_tokens_reserved(self):
+        tok = Tokenizer(["alpha", "beta"])
+        special = SpecialTokens()
+        assert tok.token_to_id("<pad>") == special.pad
+        assert tok.token_to_id("<eos>") == special.eos
+        assert tok.eos_id == special.eos
+        assert tok.sep_id == special.sep
+
+    def test_vocab_size_counts_specials(self):
+        tok = Tokenizer(["alpha", "beta"])
+        assert tok.vocab_size == 5 + 2
+        assert len(tok) == tok.vocab_size
+
+    def test_duplicates_ignored(self):
+        tok = Tokenizer(["a", "b", "a"])
+        assert tok.vocab_size == 5 + 2
+
+    def test_encode_decode_roundtrip(self):
+        tok = Tokenizer(["alpha", "beta", "gamma"])
+        ids = tok.encode("alpha gamma beta")
+        assert tok.decode(ids) == "alpha gamma beta"
+
+    def test_encode_accepts_word_sequence(self):
+        tok = Tokenizer(["alpha", "beta"])
+        assert tok.encode(["alpha", "beta"]) == tok.encode("alpha beta")
+
+    def test_unknown_words_map_to_unk(self):
+        tok = Tokenizer(["alpha"])
+        ids = tok.encode("alpha omega")
+        assert ids[1] == tok.special.unk
+
+    def test_decode_skips_special_by_default(self):
+        tok = Tokenizer(["alpha"])
+        ids = tok.encode("alpha <sep> alpha")
+        assert tok.decode(ids) == "alpha alpha"
+        assert "<sep>" in tok.decode(ids, skip_special=False)
+
+    def test_decode_out_of_range_id(self):
+        tok = Tokenizer(["alpha"])
+        assert tok.id_to_token(9999) == "<unk>"
+
+    def test_contains(self):
+        tok = Tokenizer(["alpha"])
+        assert "alpha" in tok
+        assert "omega" not in tok

@@ -1,0 +1,131 @@
+"""Tests for the Transformer (prefill/decode/generate) and sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.sampling import greedy_sample, top_k_sample
+from repro.model.transformer import Transformer
+from repro.model.weights import build_random_weights
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    config = ModelConfig(
+        name="small",
+        vocab_size=40,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        n_kv_heads=2,
+        d_ff=64,
+        max_seq_len=64,
+        positional="rope",
+        use_rmsnorm=True,
+    )
+    return Transformer(config, build_random_weights(config, seed=0, scale=0.1))
+
+
+class TestTransformer:
+    def test_prefill_logits_shape(self, small_model):
+        cache = small_model.new_cache()
+        logits = small_model.prefill([1, 2, 3, 4], cache)
+        assert logits.shape == (40,)
+        assert cache.length == 4
+
+    def test_decode_extends_cache(self, small_model):
+        cache = small_model.new_cache()
+        small_model.prefill([1, 2, 3], cache)
+        logits = small_model.decode_step(5, cache)
+        assert logits.shape == (40,)
+        assert cache.length == 4
+
+    def test_prefill_decode_consistency(self, small_model):
+        """Logits after decoding token t equal prefilling the extended prompt."""
+        cache_a = small_model.new_cache()
+        small_model.prefill([1, 2, 3], cache_a)
+        logits_decode = small_model.decode_step(7, cache_a)
+        cache_b = small_model.new_cache()
+        logits_prefill = small_model.prefill([1, 2, 3, 7], cache_b)
+        np.testing.assert_allclose(logits_decode, logits_prefill, atol=1e-4)
+
+    def test_deterministic(self, small_model):
+        out1 = small_model.generate([1, 2, 3], max_new_tokens=5)
+        out2 = small_model.generate([1, 2, 3], max_new_tokens=5)
+        assert out1.token_ids == out2.token_ids
+
+    def test_generate_respects_max_tokens(self, small_model):
+        result = small_model.generate([1, 2, 3], max_new_tokens=4)
+        assert len(result.token_ids) <= 4
+        assert result.n_prompt_tokens == 3
+        assert result.stopped_by in ("max_tokens", "stop_token", "cache_full")
+
+    def test_generate_stop_token(self, small_model):
+        # Find whichever token greedy decoding produces first and mark it as stop.
+        first = small_model.generate([1, 2, 3], max_new_tokens=1).token_ids[0]
+        result = small_model.generate([1, 2, 3], max_new_tokens=8, stop_ids=[first])
+        assert result.token_ids == []
+        assert result.stopped_by == "stop_token"
+
+    def test_after_prefill_hook_called(self, small_model):
+        seen = {}
+        def hook(cache):
+            seen["length"] = cache.length
+        small_model.generate([1, 2, 3, 4], max_new_tokens=2, after_prefill=hook)
+        assert seen["length"] == 4
+
+    def test_generate_from_cache_matches_generate(self, small_model):
+        prompt = [1, 2, 3, 4]
+        full = small_model.generate(prompt, max_new_tokens=6)
+        cache = small_model.new_cache()
+        logits = small_model.prefill(prompt, cache)
+        cont = small_model.generate_from_cache(cache, logits, max_new_tokens=6)
+        assert cont.token_ids == full.token_ids
+
+    def test_token_out_of_range_raises(self, small_model):
+        cache = small_model.new_cache()
+        with pytest.raises(ValueError):
+            small_model.prefill([1000], cache)
+
+    def test_empty_prompt_raises(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.prefill([], small_model.new_cache())
+
+    def test_invalid_max_new_tokens(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.generate([1], max_new_tokens=0)
+
+    def test_prompt_longer_than_cache_raises(self, small_model):
+        with pytest.raises(ValueError):
+            small_model.prefill(list(range(1, 30)), small_model.new_cache(capacity=8))
+
+    def test_embedding_shape_mismatch_rejected(self):
+        config = ModelConfig(
+            name="bad", vocab_size=10, d_model=16, n_layers=1, n_heads=2,
+            n_kv_heads=2, d_ff=16, max_seq_len=8, positional="none",
+        )
+        other = ModelConfig(
+            name="other", vocab_size=12, d_model=16, n_layers=1, n_heads=2,
+            n_kv_heads=2, d_ff=16, max_seq_len=8, positional="none",
+        )
+        weights = build_random_weights(other)
+        with pytest.raises(ValueError):
+            Transformer(config, weights)
+
+
+class TestSampling:
+    def test_greedy_sample(self):
+        assert greedy_sample(np.array([0.1, 3.0, -1.0])) == 1
+
+    def test_top_k_respects_k(self, rng):
+        logits = np.array([10.0, 9.0, -50.0, -50.0])
+        draws = {top_k_sample(logits, 2, rng) for _ in range(50)}
+        assert draws <= {0, 1}
+
+    def test_top_k_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            top_k_sample(np.array([1.0]), 0, rng)
+        with pytest.raises(ValueError):
+            top_k_sample(np.array([1.0]), 1, rng, temperature=0.0)

@@ -1,0 +1,74 @@
+"""Tests for repro.quant.dtypes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quant.dtypes import (
+    COCKTAIL_LADDER,
+    BitWidth,
+    bytes_for_elements,
+    metadata_bytes_for_groups,
+)
+
+
+class TestBitWidth:
+    def test_values_are_bits(self):
+        assert int(BitWidth.FP16) == 16
+        assert int(BitWidth.INT8) == 8
+        assert int(BitWidth.INT4) == 4
+        assert int(BitWidth.INT2) == 2
+
+    def test_is_quantized(self):
+        assert not BitWidth.FP16.is_quantized
+        assert BitWidth.INT4.is_quantized
+
+    def test_levels_and_range(self):
+        assert BitWidth.INT2.n_levels == 4
+        assert BitWidth.INT4.qmax == 15
+        assert BitWidth.INT8.qmin == 0
+
+    def test_fp16_has_no_levels(self):
+        with pytest.raises(ValueError):
+            _ = BitWidth.FP16.n_levels
+
+    def test_from_bits_roundtrip(self):
+        for member in BitWidth:
+            assert BitWidth.from_bits(int(member)) is member
+
+    def test_from_bits_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            BitWidth.from_bits(3)
+
+    def test_ladder_is_increasing_precision(self):
+        assert COCKTAIL_LADDER == (BitWidth.INT2, BitWidth.INT4, BitWidth.FP16)
+
+
+class TestByteAccounting:
+    @pytest.mark.parametrize(
+        "n, bits, expected",
+        [
+            (8, BitWidth.INT2, 2),
+            (7, BitWidth.INT2, 2),
+            (4, BitWidth.INT4, 2),
+            (3, BitWidth.INT4, 2),
+            (5, BitWidth.INT8, 5),
+            (3, BitWidth.FP16, 6),
+            (0, BitWidth.INT4, 0),
+        ],
+    )
+    def test_bytes_for_elements(self, n, bits, expected):
+        assert bytes_for_elements(n, bits) == expected
+
+    def test_bytes_for_elements_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_for_elements(-1, BitWidth.INT4)
+
+    def test_metadata_bytes(self):
+        assert metadata_bytes_for_groups(0) == 0
+        assert metadata_bytes_for_groups(10) == 40
+        assert metadata_bytes_for_groups(10, scale_bytes=4, zero_point_bytes=0) == 40
+
+    def test_metadata_rejects_negative(self):
+        with pytest.raises(ValueError):
+            metadata_bytes_for_groups(-2)

@@ -1,0 +1,58 @@
+"""Tests for group quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import BitWidth
+from repro.quant.group import group_dequantize, group_quantize
+
+
+class TestGroupQuantize:
+    def test_roundtrip_shape(self, rng):
+        x = rng.normal(0, 1, (5, 4, 33)).astype(np.float32)
+        gqt = group_quantize(x, BitWidth.INT4, group_size=8)
+        assert gqt.pad == 7
+        assert group_dequantize(gqt).shape == x.shape
+
+    def test_exact_for_constant_groups(self):
+        x = np.repeat(np.arange(4, dtype=np.float32)[:, None], 8, axis=1)
+        gqt = group_quantize(x, BitWidth.INT4, group_size=8)
+        np.testing.assert_allclose(gqt.dequantize(), x, atol=1e-4)
+
+    def test_smaller_groups_reduce_error(self, rng):
+        # One outlier per row inflates the scale of coarse groups.
+        x = rng.normal(0, 1, (16, 64)).astype(np.float32)
+        x[:, 0] *= 50
+        err_coarse = np.mean((group_quantize(x, BitWidth.INT4, 64).dequantize() - x) ** 2)
+        err_fine = np.mean((group_quantize(x, BitWidth.INT4, 8).dequantize() - x) ** 2)
+        assert err_fine < err_coarse
+
+    def test_n_groups(self, rng):
+        x = rng.normal(size=(3, 2, 16)).astype(np.float32)
+        gqt = group_quantize(x, BitWidth.INT2, group_size=4)
+        assert gqt.n_groups == 3 * 2 * 4
+
+    def test_storage_bytes_scales_with_bits(self, rng):
+        x = rng.normal(size=(8, 128)).astype(np.float32)
+        b2 = group_quantize(x, BitWidth.INT2, 32).storage_bytes()
+        b4 = group_quantize(x, BitWidth.INT4, 32).storage_bytes()
+        assert b2 < b4
+        # INT4 payload is half of FP16 payload; metadata adds a bit on top.
+        assert b4 < x.size * 2
+
+    def test_rejects_bad_group_size(self, rng):
+        with pytest.raises(ValueError):
+            group_quantize(rng.normal(size=(4, 4)), BitWidth.INT4, 0)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            group_quantize(np.float32(1.0), BitWidth.INT4, 4)
+
+    def test_error_bounded_by_half_group_scale(self, rng):
+        x = rng.normal(0, 2, (6, 32)).astype(np.float32)
+        gqt = group_quantize(x, BitWidth.INT4, 8)
+        err = np.abs(gqt.dequantize() - x)
+        max_scale = float(gqt.inner.scale.max())
+        assert err.max() <= max_scale / 2 + 1e-5

@@ -1,0 +1,92 @@
+"""Tests for the quantized matmul kernels and error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import BitWidth
+from repro.quant.error import cosine_distortion, max_abs_error, mse, sqnr_db
+from repro.quant.group import group_quantize
+from repro.quant.kernels import fqm, fqm_right, mm
+from repro.quant.nonuniform import nuq_quantize
+from repro.quant.uniform import quantize_uniform
+
+
+class TestKernels:
+    def test_mm_matches_numpy(self, rng):
+        a = rng.normal(size=(4, 8)).astype(np.float32)
+        b = rng.normal(size=(8, 3)).astype(np.float32)
+        np.testing.assert_allclose(mm(a, b), a @ b, rtol=1e-5)
+
+    def test_fqm_equals_dequant_then_matmul(self, rng):
+        a = rng.normal(size=(4, 16)).astype(np.float32)
+        w = rng.normal(size=(16, 6)).astype(np.float32)
+        q = quantize_uniform(w, BitWidth.INT4, axis=0)
+        np.testing.assert_allclose(fqm(a, q), a @ q.dequantize(), rtol=1e-5)
+
+    def test_fqm_accepts_raw_arrays(self, rng):
+        a = rng.normal(size=(2, 4)).astype(np.float32)
+        b = rng.normal(size=(4, 2)).astype(np.float32)
+        np.testing.assert_allclose(fqm(a, b), a @ b, rtol=1e-6)
+
+    def test_fqm_with_group_and_nuq_operands(self, rng):
+        a = rng.normal(size=(3, 32)).astype(np.float32)
+        w = rng.normal(size=(32, 5)).astype(np.float32)
+        gq = group_quantize(w.T, BitWidth.INT4, 8)  # quantize rows, then transpose back
+        np.testing.assert_allclose(
+            fqm(a, gq.dequantize().T), a @ gq.dequantize().T, rtol=1e-5
+        )
+        nq = nuq_quantize(w, BitWidth.INT8)
+        np.testing.assert_allclose(fqm(a, nq), a @ nq.dequantize(), rtol=1e-5)
+
+    def test_fqm_right(self, rng):
+        w = rng.normal(size=(6, 8)).astype(np.float32)
+        b = rng.normal(size=(8, 2)).astype(np.float32)
+        q = quantize_uniform(w, BitWidth.INT8)
+        np.testing.assert_allclose(fqm_right(q, b), q.dequantize() @ b, rtol=1e-5)
+
+    def test_fqm_approximates_fp_result(self, rng):
+        a = rng.normal(size=(8, 64)).astype(np.float32)
+        w = rng.normal(size=(64, 8)).astype(np.float32)
+        q = quantize_uniform(w, BitWidth.INT8, axis=0)
+        rel_err = np.linalg.norm(fqm(a, q) - a @ w) / np.linalg.norm(a @ w)
+        assert rel_err < 0.05
+
+
+class TestErrorMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.normal(size=(5, 5))
+        assert mse(x, x) == 0.0
+        assert max_abs_error(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        a = np.zeros(4)
+        b = np.ones(4)
+        assert mse(a, b) == pytest.approx(1.0)
+        assert max_abs_error(a, b) == pytest.approx(1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            cosine_distortion(np.zeros(3), np.zeros(4))
+
+    def test_sqnr_improves_with_bits(self, rng):
+        from repro.quant.uniform import fake_quantize
+
+        x = rng.normal(0, 1, (64, 64)).astype(np.float32)
+        sqnr4 = sqnr_db(x, fake_quantize(x, BitWidth.INT4, axis=-1))
+        sqnr8 = sqnr_db(x, fake_quantize(x, BitWidth.INT8, axis=-1))
+        assert sqnr8 > sqnr4 > 0
+
+    def test_cosine_distortion_range(self, rng):
+        x = rng.normal(size=100)
+        assert cosine_distortion(x, x) == pytest.approx(0.0, abs=1e-9)
+        assert cosine_distortion(x, -x) == pytest.approx(2.0, abs=1e-9)
+
+    def test_empty_arrays(self):
+        assert mse(np.zeros(0), np.zeros(0)) == 0.0
+        assert max_abs_error(np.zeros(0), np.zeros(0)) == 0.0

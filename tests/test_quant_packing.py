@@ -1,0 +1,73 @@
+"""Tests for bit packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.dtypes import BitWidth
+from repro.quant.packing import pack_codes, packed_nbytes, unpack_codes
+
+
+class TestPacking:
+    def test_int4_two_per_byte(self):
+        codes = np.array([1, 15, 7, 0, 9], dtype=np.uint8)
+        packed = pack_codes(codes, BitWidth.INT4)
+        assert packed.shape == (3,)
+        np.testing.assert_array_equal(unpack_codes(packed, BitWidth.INT4, 5), codes)
+
+    def test_int2_four_per_byte(self):
+        codes = np.array([3, 0, 1, 2, 3, 3], dtype=np.uint8)
+        packed = pack_codes(codes, BitWidth.INT2)
+        assert packed.shape == (2,)
+        np.testing.assert_array_equal(unpack_codes(packed, BitWidth.INT2, 6), codes)
+
+    def test_int8_passthrough(self):
+        codes = np.arange(10, dtype=np.uint8)
+        packed = pack_codes(codes, BitWidth.INT8)
+        np.testing.assert_array_equal(packed, codes)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([4], dtype=np.uint8), BitWidth.INT2)
+
+    def test_rejects_fp16(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.zeros(2, dtype=np.uint8), BitWidth.FP16)
+
+    def test_unpack_too_many_codes(self):
+        packed = pack_codes(np.array([1, 2], dtype=np.uint8), BitWidth.INT4)
+        with pytest.raises(ValueError):
+            unpack_codes(packed, BitWidth.INT4, 10)
+
+    @pytest.mark.parametrize(
+        "n, bits, expected",
+        [(5, BitWidth.INT4, 3), (4, BitWidth.INT2, 1), (9, BitWidth.INT2, 3), (7, BitWidth.INT8, 7)],
+    )
+    def test_packed_nbytes(self, n, bits, expected):
+        assert packed_nbytes(n, bits) == expected
+
+    def test_multidimensional_input_flattened(self, rng):
+        codes = rng.integers(0, 16, size=(4, 6)).astype(np.uint8)
+        packed = pack_codes(codes, BitWidth.INT4)
+        unpacked = unpack_codes(packed, BitWidth.INT4, codes.size)
+        np.testing.assert_array_equal(unpacked, codes.reshape(-1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.sampled_from([BitWidth.INT2, BitWidth.INT4, BitWidth.INT8]),
+    data=st.data(),
+)
+def test_property_pack_unpack_roundtrip(bits, data):
+    """Packing then unpacking recovers every code exactly."""
+    n = data.draw(st.integers(0, 64))
+    codes = data.draw(
+        st.lists(st.integers(0, bits.qmax), min_size=n, max_size=n)
+    )
+    codes = np.asarray(codes, dtype=np.uint8)
+    packed = pack_codes(codes, bits)
+    assert packed.nbytes == packed_nbytes(n, bits)
+    np.testing.assert_array_equal(unpack_codes(packed, bits, n), codes)

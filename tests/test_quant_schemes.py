@@ -1,0 +1,55 @@
+"""Tests for per-token / per-channel quantization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.dtypes import BitWidth
+from repro.quant.schemes import (
+    fake_quantize_per_channel,
+    fake_quantize_per_token,
+    per_channel_quantize,
+    per_token_quantize,
+)
+
+
+def _kv(rng, n_tokens=64, n_heads=4, head_dim=16):
+    return rng.normal(0, 1, (n_tokens, n_heads, head_dim)).astype(np.float32)
+
+
+class TestSchemes:
+    def test_per_token_scale_shape(self, rng):
+        kv = _kv(rng)
+        qt = per_token_quantize(kv, BitWidth.INT4)
+        assert qt.scale.shape == (64, 4, 1)
+
+    def test_per_channel_scale_shape(self, rng):
+        kv = _kv(rng)
+        qt = per_channel_quantize(kv, BitWidth.INT4)
+        assert qt.scale.shape == (1, 4, 16)
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError):
+            per_token_quantize(rng.normal(size=(4, 4)), BitWidth.INT4)
+
+    def test_per_channel_wins_with_channel_outliers(self, rng):
+        """KIVI's motivation: K outliers live in a few channels."""
+        kv = _kv(rng, n_tokens=256)
+        kv[:, :, 0] += 20.0  # a systematically large channel
+        err_token = np.mean((fake_quantize_per_token(kv, BitWidth.INT4) - kv) ** 2)
+        err_channel = np.mean((fake_quantize_per_channel(kv, BitWidth.INT4) - kv) ** 2)
+        assert err_channel < err_token
+
+    def test_per_token_wins_with_token_outliers(self, rng):
+        kv = _kv(rng, n_tokens=256)
+        kv[0] *= 30.0  # one huge token
+        err_token = np.mean((fake_quantize_per_token(kv, BitWidth.INT4) - kv) ** 2)
+        err_channel = np.mean((fake_quantize_per_channel(kv, BitWidth.INT4) - kv) ** 2)
+        assert err_token < err_channel
+
+    def test_fake_quant_preserves_shape_and_dtype(self, rng):
+        kv = _kv(rng)
+        out = fake_quantize_per_token(kv, BitWidth.INT2)
+        assert out.shape == kv.shape
+        assert out.dtype == np.float32

@@ -1,0 +1,76 @@
+"""Tests for context chunking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval.chunking import chunk_token_ids, chunk_words
+
+
+class TestChunkWords:
+    def test_exact_division_has_no_tail(self):
+        words = [f"w{i}" for i in range(64)]
+        chunks, tail = chunk_words(words, 32)
+        assert len(chunks) == 2
+        assert tail is None
+        assert chunks[0].length == 32
+        assert chunks[1].start == 32 and chunks[1].end == 64
+
+    def test_remainder_goes_to_tail(self):
+        words = [f"w{i}" for i in range(70)]
+        chunks, tail = chunk_words(words, 32)
+        assert len(chunks) == 2
+        assert tail is not None
+        assert tail.is_tail and tail.index == -1
+        assert tail.start == 64 and tail.end == 70
+        assert tail.length == 6
+
+    def test_context_shorter_than_chunk(self):
+        chunks, tail = chunk_words(["a", "b"], 32)
+        assert chunks == []
+        assert tail is not None and tail.length == 2
+
+    def test_chunk_text_joins_words(self):
+        chunks, _ = chunk_words(["a", "b", "c", "d"], 2)
+        assert chunks[0].text == "a b"
+        assert chunks[1].words == ("c", "d")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_words(["a"], 0)
+
+    def test_empty_context(self):
+        chunks, tail = chunk_words([], 8)
+        assert chunks == [] and tail is None
+
+
+class TestChunkTokenIds:
+    def test_spans_cover_context(self):
+        spans, tail = chunk_token_ids(100, 32)
+        assert spans == [(0, 32), (32, 64), (64, 96)]
+        assert tail == (96, 100)
+
+    def test_no_tail_when_divisible(self):
+        spans, tail = chunk_token_ids(96, 32)
+        assert len(spans) == 3 and tail is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_token_ids(-1, 32)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 500), size=st.integers(1, 64))
+def test_property_chunks_partition_context(n, size):
+    """Chunk spans plus the tail partition [0, n) without gaps or overlaps."""
+    spans, tail = chunk_token_ids(n, size)
+    covered = []
+    for start, end in spans:
+        assert end - start == size
+        covered.extend(range(start, end))
+    if tail is not None:
+        assert 0 < tail[1] - tail[0] < size
+        covered.extend(range(tail[0], tail[1]))
+    assert covered == list(range(n))

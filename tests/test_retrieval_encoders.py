@@ -1,0 +1,122 @@
+"""Tests for the encoders (dense stand-ins, BM25, registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval.bm25 import BM25Encoder
+from repro.retrieval.dense import (
+    ADA002Encoder,
+    ContrieverEncoder,
+    DenseEncoder,
+    LLMEmbedderEncoder,
+)
+from repro.retrieval.registry import ENCODER_NAMES, get_encoder
+
+_LEXICON = {
+    "cats": "felines",
+    "kittens": "felines",
+    "dogs": "canines",
+    "puppies": "canines",
+}
+
+
+class TestDenseEncoder:
+    def test_embeddings_unit_norm(self):
+        encoder = ContrieverEncoder(_LEXICON)
+        vectors = encoder.embed(["cats dogs", "kittens", ""])
+        norms = np.linalg.norm(vectors, axis=1)
+        assert np.allclose(norms[:2], 1.0, atol=1e-5)
+        assert norms[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_deterministic(self):
+        a = ContrieverEncoder(_LEXICON).embed(["cats dogs"])
+        b = ContrieverEncoder(_LEXICON).embed(["cats dogs"])
+        np.testing.assert_array_equal(a, b)
+
+    def test_synonyms_map_close_with_full_coverage(self):
+        encoder = ContrieverEncoder(_LEXICON)
+        sims = encoder.similarity("cats", ["kittens", "puppies"])
+        assert sims[0] > sims[1]
+
+    def test_coverage_zero_treats_words_as_distinct(self):
+        encoder = DenseEncoder("lexical-only", lexicon=_LEXICON, synonym_coverage=0.0, noise_level=0.0)
+        sims = encoder.similarity("cats", ["kittens", "cats"])
+        assert sims[1] > sims[0]
+
+    def test_similarity_ranks_relevant_chunk_first(self):
+        encoder = ContrieverEncoder(_LEXICON)
+        chunks = ["kittens kittens kittens", "puppies puppies puppies", "rocks sand"]
+        sims = encoder.similarity("cats", chunks)
+        assert int(np.argmax(sims)) == 0
+
+    def test_empty_chunk_list(self):
+        assert ContrieverEncoder(_LEXICON).similarity("cats", []).shape == (0,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DenseEncoder("x", dim=0)
+        with pytest.raises(ValueError):
+            DenseEncoder("x", synonym_coverage=1.5)
+
+    def test_search_latency_positive_and_increasing(self):
+        encoder = ContrieverEncoder(_LEXICON)
+        assert encoder.search_latency_seconds(10) > 0
+        assert encoder.search_latency_seconds(100) > encoder.search_latency_seconds(10)
+
+    def test_quality_knobs_ordering(self):
+        """Contriever has the highest coverage and lowest noise of the dense trio."""
+        contriever = ContrieverEncoder(_LEXICON)
+        llm_embedder = LLMEmbedderEncoder(_LEXICON)
+        ada = ADA002Encoder(_LEXICON)
+        assert contriever.synonym_coverage >= llm_embedder.synonym_coverage >= ada.synonym_coverage
+        assert contriever.noise_level <= llm_embedder.noise_level <= ada.noise_level
+
+
+class TestBM25:
+    def test_exact_term_match_ranks_first(self):
+        encoder = BM25Encoder()
+        sims = encoder.similarity("cats", ["cats cats", "dogs dogs", "cats dogs"])
+        assert int(np.argmax(sims)) == 0
+
+    def test_synonyms_not_understood(self):
+        """BM25 scores a paraphrased relevant chunk at zero (Table IV story)."""
+        encoder = BM25Encoder()
+        sims = encoder.similarity("cats", ["kittens kittens", "cats"])
+        assert sims[0] == 0.0
+        assert sims[1] > 0.0
+
+    def test_scores_normalised_to_unit_max(self):
+        encoder = BM25Encoder()
+        sims = encoder.similarity("cats dogs", ["cats dogs", "cats", "fish"])
+        assert sims.max() == pytest.approx(1.0)
+
+    def test_no_match_all_zero(self):
+        sims = BM25Encoder().similarity("zebra", ["cats", "dogs"])
+        assert np.all(sims == 0)
+
+    def test_embed_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            BM25Encoder().embed(["text"])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BM25Encoder(k1=0)
+        with pytest.raises(ValueError):
+            BM25Encoder(b=2.0)
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in ENCODER_NAMES:
+            encoder = get_encoder(name, _LEXICON)
+            assert encoder.name == name
+
+    def test_case_insensitive_and_alias(self):
+        assert get_encoder("Contriever", _LEXICON).name == "contriever"
+        assert get_encoder("ada002", _LEXICON).name == "ada-002"
+
+    def test_unknown_encoder(self):
+        with pytest.raises(KeyError):
+            get_encoder("word2vec")

@@ -1,0 +1,71 @@
+"""Tests for similarity utilities and the Figure-1 heatmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.longbench import build_dataset
+from repro.retrieval.chunking import chunk_words
+from repro.retrieval.dense import ContrieverEncoder
+from repro.retrieval.similarity import (
+    cosine_similarity,
+    cosine_similarity_matrix,
+    relevant_chunk_fraction,
+    similarity_heatmap,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self, rng):
+        v = rng.normal(size=16)
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 0], [1, 0, 0])
+
+    def test_matrix_shape_and_values(self, rng):
+        a = rng.normal(size=(3, 8))
+        b = rng.normal(size=(5, 8))
+        sims = cosine_similarity_matrix(a, b)
+        assert sims.shape == (3, 5)
+        assert sims.max() <= 1.0 + 1e-6 and sims.min() >= -1.0 - 1e-6
+        assert sims[1, 2] == pytest.approx(cosine_similarity(a[1], b[2]), abs=1e-5)
+
+    def test_matrix_incompatible_shapes(self, rng):
+        with pytest.raises(ValueError):
+            cosine_similarity_matrix(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)))
+
+
+class TestHeatmap:
+    def test_relevant_fraction_definition(self):
+        heatmap = np.array([[0.0, 0.1, 0.9, 1.0], [0.2, 0.2, 0.2, 0.9]])
+        fractions = relevant_chunk_fraction(heatmap, relative_threshold=0.5)
+        assert fractions.shape == (2,)
+        assert fractions[0] == pytest.approx(0.5)
+        assert fractions[1] == pytest.approx(0.25)
+
+    def test_relevant_fraction_needs_2d(self):
+        with pytest.raises(ValueError):
+            relevant_chunk_fraction(np.zeros(4))
+
+    def test_figure1_property_most_chunks_irrelevant(self, vocab):
+        """For synthetic long-context samples, only a small share of chunks is
+        highly similar to the query (the paper's Figure 1 observation)."""
+        samples = build_dataset("qasper", 3, vocab=vocab, seed=11)
+        encoder = ContrieverEncoder(vocab.lexicon)
+        queries = [s.query_text for s in samples]
+        chunks, _ = chunk_words(list(samples[0].context_words), 32)
+        heatmap = similarity_heatmap(encoder, queries, [c.text for c in chunks])
+        assert heatmap.shape == (3, len(chunks))
+        fractions = relevant_chunk_fraction(heatmap, relative_threshold=0.5)
+        assert float(fractions.mean()) < 0.35
+
+    def test_empty_queries(self, vocab):
+        encoder = ContrieverEncoder(vocab.lexicon)
+        heatmap = similarity_heatmap(encoder, [], ["a", "b"])
+        assert heatmap.shape == (0, 2)
