@@ -5,6 +5,11 @@ methods at small batch sizes (the chunk-level search limits throughput),
 overtakes them as the batch grows, always exceeds KVQuant, and every
 quantized method sustains larger batches than FP16 before running out of
 memory.
+
+The analytic curves are complemented by a measured run: a small mixed
+batch is actually served through the continuous-batching
+:class:`~repro.serving.engine.InferenceEngine` and its per-method
+queue/TTFT/TPOT stats are persisted alongside the Figure-6 table.
 """
 
 from __future__ import annotations
@@ -12,8 +17,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import save_table
-from repro.evaluation.efficiency import throughput_table
-from repro.evaluation.setup import DEFAULT_METHODS
+from repro.evaluation.efficiency import serving_stats_table, throughput_table
+from repro.evaluation.setup import DEFAULT_METHODS, method_display_name
 
 BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 200, 300, 400)
 
@@ -46,3 +51,27 @@ def test_fig6_throughput(benchmark, results_dir):
     fp16_oom = sum(1 for b in BATCH_SIZES if table.get("FP16", str(b)) is None)
     cocktail_oom = sum(1 for b in BATCH_SIZES if table.get("Cocktail", str(b)) is None)
     assert fp16_oom > cocktail_oom
+
+
+SERVING_METHODS = ("dense", "blockwise", "fp16", "kivi")
+
+
+def _run_fig6_serving():
+    return serving_stats_table(
+        n_requests=8, methods=SERVING_METHODS, max_new_tokens=8, max_running=4
+    )
+
+
+def test_fig6_measured_serving(benchmark, results_dir):
+    """Measured counterpart: actually serve a mixed batch through the engine."""
+    table = benchmark.pedantic(_run_fig6_serving, rounds=1, iterations=1)
+    save_table(results_dir, "fig6_serving_stats", table)
+    print("\n" + table.to_text(precision=2))
+
+    for method in SERVING_METHODS:
+        row = method_display_name(method)
+        # Every submitted request completed and produced tokens.
+        assert table.get(row, "requests") == 2.0
+        assert table.get(row, "tokens") > 0
+        # Timing stats are well-formed: queued before first token.
+        assert table.get(row, "ttft ms") >= table.get(row, "queue ms") >= 0.0

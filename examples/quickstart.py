@@ -1,23 +1,30 @@
 #!/usr/bin/env python
-"""Quickstart: run Cocktail end-to-end on one long-context request.
+"""Quickstart: serve one long-context Cocktail request through the engine.
 
 The example builds the simulated Llama2-7B retrieval model, generates a
-synthetic single-document-QA request (Qasper-style), runs the full Cocktail
-pipeline (chunk-level quantization search, chunk reordering, mixed-precision
-quantization, blockwise decode) and compares the answer against the
-full-precision FP16 baseline.
+synthetic single-document-QA request (Qasper-style) and serves it through
+the :class:`repro.serving.InferenceEngine` with the ``"blockwise"`` backend
+(chunk-level quantization search, chunk reordering, mixed-precision
+quantization, Algorithm-1 blockwise decode), streaming the answer token by
+token.  The FP16 reference runs through the very same engine — the decode
+backend is just another registry name.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
 from repro.core.config import CocktailConfig
-from repro.core.pipeline import CocktailPipeline
 from repro.datasets.longbench import build_dataset, build_vocabulary
 from repro.evaluation.setup import build_model, build_tokenizer
 from repro.metrics.registry import compute_metric
 from repro.quant.dtypes import BitWidth
+from repro.serving import GenerationRequest, InferenceEngine
+
+
+def fmt_ms(seconds: float | None) -> str:
+    """Milliseconds, or n/a for stats a zero-token request never sets."""
+    return "n/a" if seconds is None else f"{seconds * 1e3:.1f} ms"
 
 
 def main() -> None:
@@ -32,15 +39,20 @@ def main() -> None:
     print(f"query          : {sample.query_text}")
     print(f"gold answer    : {sample.answer_text}")
 
-    # 3. Run Cocktail with the paper's default hyper-parameters
-    #    (chunk size 32, alpha 0.6, beta 0.1, Contriever encoder).
-    config = CocktailConfig()
-    pipeline = CocktailPipeline(model, tokenizer, config, lexicon=vocab.lexicon)
-    result = pipeline.run(
-        sample.context_words, sample.query_words, max_new_tokens=64, mode="blockwise"
+    # 3. Build the serving engine with the paper's default hyper-parameters
+    #    (chunk size 32, alpha 0.6, beta 0.1, Contriever encoder) and stream
+    #    the Cocktail answer through the blockwise (Algorithm 1) backend.
+    engine = InferenceEngine(model, tokenizer, CocktailConfig(), lexicon=vocab.lexicon)
+    request = GenerationRequest(
+        sample.context_words, sample.query_words, max_new_tokens=64, backend="blockwise"
     )
+    print("\n--- streaming decode ---")
+    for event in engine.stream(request):
+        if event.token_id is not None:
+            print(f"  token {event.index:>2} : {event.text}")
+    result = engine.result(request.request_id)
 
-    chunk_bits = result.chunk_bits
+    chunk_bits = list(result.plan.details.get("chunk_bits", []))
     counts = {bits: chunk_bits.count(bits) for bits in (BitWidth.INT2, BitWidth.INT4, BitWidth.FP16)}
     print("\n--- chunk-level quantization search ---")
     print(f"chunks          : {len(chunk_bits)}")
@@ -49,23 +61,25 @@ def main() -> None:
     print(f"FP16 chunks     : {counts[BitWidth.FP16]}")
     print(f"search latency  : {result.plan.search_seconds * 1e3:.1f} ms (modeled)")
 
-    compression = result.chunked_caches[0].compression_ratio()
+    compression = result.details["chunked_caches"][0].compression_ratio()
     print("\n--- chunk-level KV cache computation ---")
     print(f"context KV compression vs FP16 : {compression:.2f}x")
+    print(f"TTFT (measured, sim speed)     : {fmt_ms(result.stats.ttft_seconds)}")
+    print(f"TPOT (measured, sim speed)     : {fmt_ms(result.stats.tpot_seconds)}")
 
     print("\n--- answers ---")
     cocktail_score = compute_metric(sample.metric, result.answer_text, sample.answer_text)
     print(f"Cocktail answer : {result.answer_text}")
     print(f"Cocktail F1     : {cocktail_score:.1f}")
 
-    # 4. FP16 reference (no quantization at all).
-    prompt = pipeline.prompt_ids(sample.context_words, sample.query_words)
-    fp16 = model.generate(
-        prompt, max_new_tokens=64, stop_ids=(tokenizer.eos_id, tokenizer.sep_id)
+    # 4. FP16 reference (no quantization at all) — same engine, different backend.
+    fp16 = engine.run(
+        GenerationRequest(
+            sample.context_words, sample.query_words, max_new_tokens=64, backend="fp16"
+        )
     )
-    fp16_answer = tokenizer.decode(fp16.token_ids)
-    fp16_score = compute_metric(sample.metric, fp16_answer, sample.answer_text)
-    print(f"FP16 answer     : {fp16_answer}")
+    fp16_score = compute_metric(sample.metric, fp16.answer_text, sample.answer_text)
+    print(f"FP16 answer     : {fp16.answer_text}")
     print(f"FP16 F1         : {fp16_score:.1f}")
 
 

@@ -27,6 +27,11 @@ The package is organised in layers:
 ``repro.hardware``
     Analytic GPU memory/latency/throughput model used for the efficiency
     experiments (Figures 4-6, Table V).
+``repro.serving``
+    The serving engine: request/result/token-event objects, a pluggable
+    decode-backend registry (Cocktail dense/blockwise plus every baseline),
+    streaming decode and a continuous-batching scheduler with FIFO
+    admission, round-robin decode and capacity-aware preemption.
 ``repro.evaluation``
     Experiment runners and report formatting for every paper table/figure.
 """
@@ -35,13 +40,19 @@ from repro.core.config import CocktailConfig
 from repro.core.pipeline import CocktailPipeline
 from repro.core.search import ChunkQuantizationSearch
 from repro.quant.dtypes import BitWidth
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest, SamplingParams, TokenEvent
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BitWidth",
     "CocktailConfig",
     "CocktailPipeline",
     "ChunkQuantizationSearch",
+    "InferenceEngine",
+    "GenerationRequest",
+    "SamplingParams",
+    "TokenEvent",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""End-to-end Cocktail inference pipeline.
+"""End-to-end Cocktail inference pipeline (compatibility wrapper).
 
 Mirrors Figure 2 of the paper:
 
@@ -12,10 +12,14 @@ Mirrors Figure 2 of the paper:
 5. decode phases run blockwise attention over the mixed-precision cache
    (Algorithm 1) until the answer is produced.
 
-Two decode backends are provided: ``"blockwise"`` executes Algorithm 1
-literally over the chunked cache; ``"dense"`` applies quantize-dequantize in
-place and reuses the standard attention path.  Both are numerically
-equivalent (see :mod:`repro.core.computation` and the integration tests).
+Since the serving redesign, all of the above executes inside
+:class:`repro.serving.engine.InferenceEngine`; :class:`CocktailPipeline`
+remains as the single-request blocking facade with its historical
+signature.  ``mode=`` strings resolve through the
+:mod:`repro.serving.backends` registry, so besides ``"dense"`` (fake-quant
++ standard attention) and ``"blockwise"`` (Algorithm 1 over the chunked
+mixed-precision cache) any registered backend name — e.g. the baseline
+methods ``"fp16"``, ``"atom"``, ``"kivi"``, ``"kvquant"`` — is accepted.
 """
 
 from __future__ import annotations
@@ -23,19 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-import numpy as np
-
 from repro.baselines.base import KVQuantizationPlan, QuantizationRequest
 from repro.core.cache import ChunkedLayerCache
-from repro.core.computation import chunk_level_decode_attention
 from repro.core.config import CocktailConfig
-from repro.core.quantizer import CocktailQuantizer
-from repro.model.kv_cache import LayerKVCache, ModelKVCache
-from repro.model.sampling import greedy_sample
+from repro.model.kv_cache import ModelKVCache
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
 from repro.retrieval.base import Encoder
-from repro.retrieval.chunking import chunk_words
 
 
 @dataclass
@@ -57,7 +55,13 @@ class CocktailRunResult:
 
 
 class CocktailPipeline:
-    """Ties the model, tokenizer, encoder and Cocktail quantizer together."""
+    """Single-request facade over the serving engine.
+
+    Ties the model, tokenizer, encoder and Cocktail quantizer together and
+    serves one blocking request per :meth:`run` call.  For concurrent
+    traffic, token streaming and per-request stats use the engine directly
+    (exposed as :attr:`engine`).
+    """
 
     def __init__(
         self,
@@ -69,12 +73,17 @@ class CocktailPipeline:
         lexicon: dict[str, str] | None = None,
         seed: int = 0,
     ):
+        # Imported lazily: repro.serving builds on repro.core, so a
+        # module-level import here would be circular.
+        from repro.serving.engine import InferenceEngine
+
         self.model = model
         self.tokenizer = tokenizer
         self.config = config or CocktailConfig()
-        self.quantizer = CocktailQuantizer(
-            self.config, encoder, lexicon=lexicon, seed=seed
+        self.engine = InferenceEngine(
+            model, tokenizer, self.config, encoder=encoder, lexicon=lexicon, seed=seed
         )
+        self.quantizer = self.engine.quantizer
 
     # -- request assembly ----------------------------------------------------
 
@@ -85,23 +94,19 @@ class CocktailPipeline:
         cache: ModelKVCache | None = None,
     ) -> QuantizationRequest:
         """Chunk the context and package everything the search needs."""
-        chunks, tail = chunk_words(list(context_words), self.config.chunk_size)
-        return QuantizationRequest(
-            context_len=len(context_words),
-            chunk_size=self.config.chunk_size,
-            chunk_texts=[chunk.text for chunk in chunks],
-            chunk_spans=[(chunk.start, chunk.end) for chunk in chunks],
-            tail_span=(tail.start, tail.end) if tail is not None else None,
-            query_text=" ".join(query_words),
-            cache=cache,
+        from repro.serving.backends import build_quantization_request
+
+        return build_quantization_request(
+            context_words, query_words, self.config.chunk_size, cache
         )
 
     def prompt_ids(
         self, context_words: Sequence[str], query_words: Sequence[str]
     ) -> list[int]:
         """Token IDs of the full prompt (context, separator, query)."""
-        prompt_words = list(context_words) + ["<sep>"] + list(query_words)
-        return self.tokenizer.encode(prompt_words)
+        from repro.serving.backends import prompt_token_ids
+
+        return prompt_token_ids(self.tokenizer, context_words, query_words)
 
     # -- inference -----------------------------------------------------------
 
@@ -120,121 +125,36 @@ class CocktailPipeline:
         context_words, query_words:
             The request, as word sequences.
         max_new_tokens:
-            Decode budget.
+            Decode budget; must be >= 1.
         mode:
-            ``"dense"`` (fake-quant + standard attention) or ``"blockwise"``
-            (Algorithm 1 over the chunked mixed-precision cache).
+            Decode-backend name — ``"dense"`` (fake-quant + standard
+            attention), ``"blockwise"`` (Algorithm 1 over the chunked
+            mixed-precision cache) or any other name registered with
+            :mod:`repro.serving.backends`.
         """
-        if mode not in ("dense", "blockwise"):
-            raise ValueError(f"unknown mode {mode!r}; expected 'dense' or 'blockwise'")
-        prompt = self.prompt_ids(context_words, query_words)
-        cache = self.model.new_cache()
-        first_logits = self.model.prefill(prompt, cache)
-        cache.mark_context(len(context_words))
+        from repro.serving.request import GenerationRequest
 
-        request = self.build_request(context_words, query_words, cache)
-        plan = self.quantizer.plan(request)
-
-        stop_ids = (self.tokenizer.eos_id, self.tokenizer.sep_id)
-        if mode == "dense":
-            self.quantizer.apply(cache, plan)
-            result = self.model.generate_from_cache(
-                cache, first_logits, max_new_tokens=max_new_tokens, stop_ids=stop_ids
-            )
-            generated = result.token_ids
-            stopped_by = result.stopped_by
-            chunked_caches = None
-        else:
-            chunked_caches = self.quantizer.build_chunked_caches(cache, plan)
-            generated, stopped_by = self._generate_blockwise(
-                cache,
-                chunked_caches,
-                first_logits,
-                max_new_tokens=max_new_tokens,
-                stop_ids=stop_ids,
-            )
-        return CocktailRunResult(
-            answer_text=self.tokenizer.decode(generated),
-            generated_ids=list(generated),
-            plan=plan,
-            stopped_by=stopped_by,
-            n_context_tokens=len(context_words),
-            n_prompt_tokens=len(prompt),
-            chunked_caches=chunked_caches,
+        try:
+            self.engine.get_backend(mode)
+        except KeyError:
+            raise ValueError(
+                f"unknown mode {mode!r}; known: {list(self.engine.backend_names())}"
+            ) from None
+        request = GenerationRequest(
+            context_words,
+            query_words,
+            max_new_tokens=max_new_tokens,
+            backend=mode,
         )
-
-    # -- blockwise decode backend (Algorithm 1) --------------------------------
-
-    def _generate_blockwise(
-        self,
-        cache: ModelKVCache,
-        chunked_caches: list[ChunkedLayerCache],
-        first_logits: np.ndarray,
-        *,
-        max_new_tokens: int,
-        stop_ids: Sequence[int],
-    ) -> tuple[list[int], str]:
-        """Decode loop that attends blockwise over the mixed-precision cache."""
-        config = self.model.config
-        n_context = cache.n_context
-        # The non-quantized region (query tokens) seeds the FP16 decode caches.
-        decode_capacity = cache.capacity - n_context
-        decode_caches = []
-        for layer in cache.layers:
-            decode_cache = LayerKVCache(config.n_kv_heads, config.head_dim, decode_capacity)
-            decode_cache.append(
-                layer.k[n_context : layer.length].copy(),
-                layer.v[n_context : layer.length].copy(),
-            )
-            decode_caches.append(decode_cache)
-
-        position = cache.length
-        stop_set = set(int(s) for s in stop_ids)
-        generated: list[int] = []
-        stopped_by = "max_tokens"
-        next_id = greedy_sample(first_logits)
-        for _ in range(max_new_tokens):
-            if next_id in stop_set:
-                stopped_by = "stop_token"
-                break
-            generated.append(next_id)
-            if position >= cache.capacity:
-                stopped_by = "cache_full"
-                break
-            logits = self._decode_step_blockwise(
-                next_id, position, chunked_caches, decode_caches
-            )
-            position += 1
-            next_id = greedy_sample(logits)
-        return generated, stopped_by
-
-    def _decode_step_blockwise(
-        self,
-        token_id: int,
-        position: int,
-        chunked_caches: list[ChunkedLayerCache],
-        decode_caches: list[LayerKVCache],
-    ) -> np.ndarray:
-        """One decode step with chunk-level KV cache computation per layer."""
-        model = self.model
-        config = model.config
-        positions = np.asarray([position])
-        hidden = model.embed([token_id], positions)
-        for layer_index, block in enumerate(model.blocks):
-            attn_in = block.norm_attn.forward(hidden)
-            attention = block.attention
-            q = attention.project_q(attn_in, positions)[0]
-            k_new, v_new = attention.project_kv(attn_in, positions)
-            decode_caches[layer_index].append(k_new, v_new)
-            context_vectors = chunk_level_decode_attention(
-                q,
-                chunked_caches[layer_index],
-                decode_caches[layer_index].keys(),
-                decode_caches[layer_index].values(),
-                gqa_group=config.gqa_group,
-                scale=config.attention_temperature / np.sqrt(config.head_dim),
-            )
-            attn_out = np.einsum("he,hed->d", context_vectors, attention.weights.wo)
-            hidden = hidden + attn_out[None, :]
-            hidden = hidden + block.mlp.forward(block.norm_mlp.forward(hidden))
-        return model._logits(hidden[0])
+        # pop=True: the facade is called in evaluation-style loops, so the
+        # engine must not accumulate per-request results (and their caches).
+        result = self.engine.run(request, pop=True)
+        return CocktailRunResult(
+            answer_text=result.answer_text,
+            generated_ids=list(result.token_ids),
+            plan=result.plan,
+            stopped_by=result.stopped_by,
+            n_context_tokens=result.n_context_tokens,
+            n_prompt_tokens=result.n_prompt_tokens,
+            chunked_caches=result.details.get("chunked_caches"),
+        )

@@ -16,6 +16,7 @@ from repro.evaluation.efficiency import (
     EFFICIENCY_CONTEXT_LENS,
     memory_table,
     representative_profile,
+    serving_stats_table,
     throughput_table,
     tpot_table,
 )
@@ -41,5 +42,6 @@ __all__ = [
     "memory_table",
     "tpot_table",
     "throughput_table",
+    "serving_stats_table",
     "EFFICIENCY_CONTEXT_LENS",
 ]

@@ -31,7 +31,7 @@ from repro.metrics.registry import compute_metric
 from repro.model.kv_cache import ModelKVCache
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
-from repro.retrieval.chunking import chunk_words
+from repro.serving.backends import build_quantization_request
 
 
 def build_request_for_sample(
@@ -40,15 +40,8 @@ def build_request_for_sample(
     cache: ModelKVCache | None = None,
 ) -> QuantizationRequest:
     """Chunk a sample's context and package the quantization request."""
-    chunks, tail = chunk_words(list(sample.context_words), chunk_size)
-    return QuantizationRequest(
-        context_len=sample.n_context_tokens,
-        chunk_size=chunk_size,
-        chunk_texts=[chunk.text for chunk in chunks],
-        chunk_spans=[(chunk.start, chunk.end) for chunk in chunks],
-        tail_span=(tail.start, tail.end) if tail is not None else None,
-        query_text=sample.query_text,
-        cache=cache,
+    return build_quantization_request(
+        sample.context_words, sample.query_words, chunk_size, cache
     )
 
 

@@ -3,8 +3,11 @@
 The hardware model consumes a :class:`~repro.hardware.layout.KVCacheProfile`
 per method.  For the mixed-precision methods (Cocktail, KVQuant and the
 ablation variants) the profile is *measured*: a representative QMSum-style
-request is run through the simulation pipeline and its actual quantization
-plan (bit fractions, ordering, search cost) is what the cost model sees.
+request is served through the :class:`~repro.serving.engine.InferenceEngine`
+and its actual quantization plan (bit fractions, ordering, search cost) is
+what the cost model sees.  :func:`serving_stats_table` complements the
+analytic Figure-6 curves with throughput/TTFT/TPOT numbers measured on the
+real continuous-batching engine.
 """
 
 from __future__ import annotations
@@ -13,8 +16,9 @@ from functools import lru_cache
 from typing import Sequence
 
 from repro.core.config import CocktailConfig
+from repro.datasets.base import DatasetSpec
+from repro.datasets.generator import SampleGenerator
 from repro.datasets.longbench import build_dataset
-from repro.evaluation.accuracy import build_request_for_sample
 from repro.evaluation.report import ResultTable
 from repro.evaluation.setup import (
     DEFAULT_METHODS,
@@ -30,6 +34,8 @@ from repro.hardware.layout import KVCacheProfile
 from repro.hardware.memory import gpu_memory_gb
 from repro.hardware.throughput import throughput_curve
 from repro.model.config import SIM_MODEL_NAMES, get_model_spec
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest
 
 #: Context length (tokens) charged per model in the memory/TPOT experiments —
 #: long-context models are evaluated near their longer windows, matching the
@@ -57,22 +63,33 @@ def representative_profile(
 ) -> KVCacheProfile:
     """Measure a method's storage profile on one representative request.
 
-    A QMSum-style sample is prefilled with the Llama2-7B simulation model and
-    the method's :meth:`plan` is executed for real; the resulting bitwidth
-    mix, ordering flag and search latency become the hardware-model profile.
+    A QMSum-style sample is served through the inference engine with the
+    Llama2-7B simulation model and the method's :meth:`plan` is executed for
+    real; the resulting bitwidth mix, ordering flag and search latency
+    become the hardware-model profile.  Methods outside the serving
+    registry (the ablation variants) are plugged in as engine-local
+    backends via the common quantizer interface.
     """
     vocab = shared_vocabulary()
     tokenizer = build_tokenizer(vocab)
     model = build_model("llama2-7b", tokenizer, seed=seed)
     sample = build_dataset(dataset, 1, vocab=vocab, seed=seed)[0]
-    cache = model.new_cache()
-    model.prefill(tokenizer.encode(list(sample.prompt_words)), cache)
-    cache.mark_context(sample.n_context_tokens)
     config = CocktailConfig(chunk_size=chunk_size, alpha=alpha, beta=beta)
-    quantizer = build_quantizer(method, vocab=vocab, cocktail_config=config, seed=seed)
-    request = build_request_for_sample(sample, chunk_size, cache)
-    plan = quantizer.plan(request)
-    return KVCacheProfile.from_plan(plan, chunk_size=chunk_size)
+    engine = InferenceEngine(model, tokenizer, config, lexicon=vocab.lexicon, seed=seed)
+    if method.lower() not in engine.backend_names():
+        engine.add_backend(
+            method,
+            build_quantizer(method, vocab=vocab, cocktail_config=config, seed=seed),
+        )
+    result = engine.run(
+        GenerationRequest(
+            sample.context_words,
+            sample.query_words,
+            max_new_tokens=1,
+            backend=method,
+        )
+    )
+    return KVCacheProfile.from_plan(result.plan, chunk_size=chunk_size)
 
 
 def profiles_for_methods(
@@ -166,4 +183,87 @@ def throughput_table(
         )
         for batch, value in zip(batch_sizes, curve):
             table.set(method_display_name(method), str(batch), value)
+    return table
+
+
+#: Small request shape used by the measured serving experiment (kept tiny so
+#: the simulation-speed engine finishes in test time).
+SERVING_SAMPLE_SPEC = DatasetSpec(
+    name="serving-qa",
+    display_name="ServingQA",
+    task="Single-Document QA",
+    metric="f1",
+    n_context_words=256,
+    answer_length=(5, 8),
+    n_related_facts=1,
+    n_distractor_facts=4,
+    n_trap_chunks=1,
+)
+
+
+def serving_stats_table(
+    n_requests: int = 8,
+    methods: Sequence[str] = ("dense", "blockwise", "fp16", "kivi"),
+    *,
+    model_name: str = "llama2-7b",
+    max_new_tokens: int = 12,
+    max_running: int = 4,
+    chunk_size: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """Measured serving stats from the real continuous-batching engine.
+
+    ``n_requests`` requests round-robin over ``methods`` are submitted at
+    once and served concurrently; the table reports wall-clock means of
+    queue time, TTFT and TPOT (milliseconds) plus generated tokens per
+    method.  This complements the analytic Figure-6 model with numbers the
+    engine actually achieves (at simulation speed, not GPU speed).
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    vocab = shared_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model(model_name, tokenizer, seed=seed)
+    config = CocktailConfig(chunk_size=chunk_size)
+    engine = InferenceEngine(
+        model,
+        tokenizer,
+        config,
+        lexicon=vocab.lexicon,
+        seed=seed,
+        max_running=max_running,
+    )
+    samples = SampleGenerator(vocab, SERVING_SAMPLE_SPEC, seed=seed).generate_many(
+        n_requests
+    )
+    requests = [
+        GenerationRequest(
+            sample.context_words,
+            sample.query_words,
+            max_new_tokens=max_new_tokens,
+            backend=methods[i % len(methods)],
+        )
+        for i, sample in enumerate(samples)
+    ]
+    results = engine.run_batch(requests)
+
+    table = ResultTable(
+        title=f"Measured serving stats ({n_requests} concurrent requests)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=["requests", "tokens", "queue ms", "ttft ms", "tpot ms"],
+    )
+    for method in methods:
+        rows = [r for r in results if r.backend == method]
+        row = method_display_name(method)
+        table.set(row, "requests", float(len(rows)))
+        table.set(row, "tokens", float(sum(len(r.token_ids) for r in rows)))
+        for column, attr in (
+            ("queue ms", "queue_seconds"),
+            ("ttft ms", "ttft_seconds"),
+            ("tpot ms", "tpot_seconds"),
+        ):
+            values = [getattr(r.stats, attr) for r in rows]
+            values = [v for v in values if v is not None]
+            mean = sum(values) / len(values) if values else 0.0
+            table.set(row, column, mean * 1e3)
     return table

@@ -23,6 +23,7 @@ from repro.model.config import (
     get_model_spec,
     get_sim_config,
 )
+from repro.model.decode import STOP_REASONS, DecodeSession, check_max_new_tokens
 from repro.model.kv_cache import LayerKVCache, ModelKVCache
 from repro.model.tokenizer import SpecialTokens, Tokenizer
 from repro.model.transformer import Transformer
@@ -36,6 +37,9 @@ __all__ = [
     "SIM_MODEL_NAMES",
     "get_model_spec",
     "get_sim_config",
+    "DecodeSession",
+    "STOP_REASONS",
+    "check_max_new_tokens",
     "LayerKVCache",
     "ModelKVCache",
     "Tokenizer",

@@ -1,0 +1,132 @@
+"""Shared decode-step state machine.
+
+Historically the dense decode loop (:meth:`Transformer.generate_from_cache`)
+and the blockwise Algorithm-1 loop (the old
+``CocktailPipeline._generate_blockwise``) each re-implemented the same
+stop-token / token-budget / cache-full bookkeeping, so their ``stopped_by``
+semantics could drift.  :class:`DecodeSession` centralises that state machine
+behind a backend-supplied step function and exposes it two ways:
+
+* :meth:`DecodeSession.run` — the classic blocking greedy loop,
+* :meth:`DecodeSession.advance` — one decode step at a time, which is what
+  the continuous-batching scheduler in :mod:`repro.serving` interleaves
+  across many in-flight sequences.
+
+The per-step order of operations is load-bearing and matches the historical
+loops exactly: the budget check precedes the stop-token check (a request
+that exhausts its budget reports ``"max_tokens"`` even if the next sampled
+token would have been a stop token), a token is emitted before the capacity
+check (``"cache_full"`` still keeps the token that no longer fits a
+follow-up step), and the backend step for the final budgeted token is still
+computed (its sampled successor is simply never used).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.model.sampling import greedy_sample
+
+#: The three terminal states a decode session can report.
+STOP_REASONS: tuple[str, ...] = ("stop_token", "max_tokens", "cache_full")
+
+
+def check_max_new_tokens(max_new_tokens: int) -> int:
+    """Validate a decode budget, returning it as ``int``.
+
+    A budget of zero would silently produce an empty answer labelled
+    ``stopped_by="max_tokens"`` even when the very first sampled token is a
+    stop token, so every entry point rejects it up front.
+    """
+    max_new_tokens = int(max_new_tokens)
+    if max_new_tokens < 1:
+        raise ValueError(
+            f"max_new_tokens must be >= 1, got {max_new_tokens} "
+            "(a zero budget cannot distinguish stop conditions)"
+        )
+    return max_new_tokens
+
+
+class DecodeSession:
+    """Incremental greedy/sampled decode over a backend step function.
+
+    Parameters
+    ----------
+    step_fn:
+        Maps the just-emitted token id to the next-token logits, appending
+        the token to whatever cache representation the backend maintains.
+    first_logits:
+        Logits of the last prompt position (the distribution of the first
+        output token), produced by the prefill phase.
+    max_new_tokens:
+        Decode budget; must be >= 1.
+    stop_ids:
+        Token IDs that terminate generation (excluded from the output).
+    sampler:
+        Maps logits to the next token ID (greedy by default).
+    has_capacity:
+        Returns whether the backend can absorb one more decode step; when it
+        reports ``False`` the session ends with ``stopped_by="cache_full"``.
+    """
+
+    def __init__(
+        self,
+        step_fn: Callable[[int], np.ndarray],
+        first_logits: np.ndarray,
+        *,
+        max_new_tokens: int,
+        stop_ids: Sequence[int] = (),
+        sampler: Callable[[np.ndarray], int] = greedy_sample,
+        has_capacity: Callable[[], bool] | None = None,
+    ):
+        self._step_fn = step_fn
+        self._sampler = sampler
+        self._stop_set = frozenset(int(s) for s in stop_ids)
+        self._max_new_tokens = check_max_new_tokens(max_new_tokens)
+        self._has_capacity = has_capacity if has_capacity is not None else (lambda: True)
+        self._next_id = int(sampler(first_logits))
+        self.generated: list[int] = []
+        self.stopped_by: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the session has reached a terminal state."""
+        return self.stopped_by is not None
+
+    @property
+    def n_generated(self) -> int:
+        """Number of tokens emitted so far."""
+        return len(self.generated)
+
+    def advance(self) -> int | None:
+        """Execute one decode step.
+
+        Returns the token ID emitted by this step, or ``None`` when the
+        session finishes without emitting (budget exhausted or stop token).
+        Note the ``"cache_full"`` terminal state both emits a token *and*
+        finishes, so check :attr:`finished` rather than the return value.
+        """
+        if self.finished:
+            return None
+        if len(self.generated) >= self._max_new_tokens:
+            self.stopped_by = "max_tokens"
+            return None
+        if self._next_id in self._stop_set:
+            self.stopped_by = "stop_token"
+            return None
+        token = self._next_id
+        self.generated.append(token)
+        if not self._has_capacity():
+            self.stopped_by = "cache_full"
+            return token
+        logits = self._step_fn(token)
+        self._next_id = int(self._sampler(logits))
+        return token
+
+    def run(self) -> tuple[list[int], str]:
+        """Drive the session to completion; returns ``(token_ids, stopped_by)``."""
+        while not self.finished:
+            self.advance()
+        return list(self.generated), self.stopped_by

@@ -8,6 +8,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.model.config import ModelConfig
+from repro.model.decode import DecodeSession, check_max_new_tokens
 from repro.model.kv_cache import ModelKVCache
 from repro.model.layers import TransformerBlock
 from repro.model.mlp import RMSNorm
@@ -147,26 +148,21 @@ class Transformer:
         sampler:
             Maps logits to the next token ID (greedy by default).
         """
-        if max_new_tokens <= 0:
-            raise ValueError(f"max_new_tokens must be > 0, got {max_new_tokens}")
+        # Validate before prefill so a bad budget cannot mutate the caller's
+        # cache (or run the quantization hook) and then raise.
+        check_max_new_tokens(max_new_tokens)
         cache = cache or self.new_cache()
         logits = self.prefill(prompt_ids, cache)
         if after_prefill is not None:
             after_prefill(cache)
-        stop_set = set(int(s) for s in stop_ids)
-        generated: list[int] = []
-        stopped_by = "max_tokens"
-        next_id = sampler(logits)
-        for _ in range(max_new_tokens):
-            if next_id in stop_set:
-                stopped_by = "stop_token"
-                break
-            generated.append(next_id)
-            if cache.length >= cache.capacity:
-                stopped_by = "cache_full"
-                break
-            logits = self.decode_step(next_id, cache)
-            next_id = sampler(logits)
+        session = self.decode_session(
+            cache,
+            logits,
+            max_new_tokens=max_new_tokens,
+            stop_ids=stop_ids,
+            sampler=sampler,
+        )
+        generated, stopped_by = session.run()
         return GenerationResult(
             token_ids=generated,
             n_prompt_tokens=len(list(prompt_ids)),
@@ -190,26 +186,43 @@ class Transformer:
         quantizes its own clone of the cache, and decoding restarts from the
         prefill logits.
         """
-        if max_new_tokens <= 0:
-            raise ValueError(f"max_new_tokens must be > 0, got {max_new_tokens}")
-        stop_set = set(int(s) for s in stop_ids)
-        generated: list[int] = []
-        stopped_by = "max_tokens"
         n_prompt = cache.length
-        next_id = sampler(first_logits)
-        for _ in range(max_new_tokens):
-            if next_id in stop_set:
-                stopped_by = "stop_token"
-                break
-            generated.append(next_id)
-            if cache.length >= cache.capacity:
-                stopped_by = "cache_full"
-                break
-            logits = self.decode_step(next_id, cache)
-            next_id = sampler(logits)
+        session = self.decode_session(
+            cache,
+            first_logits,
+            max_new_tokens=max_new_tokens,
+            stop_ids=stop_ids,
+            sampler=sampler,
+        )
+        generated, stopped_by = session.run()
         return GenerationResult(
             token_ids=generated,
             n_prompt_tokens=n_prompt,
             stopped_by=stopped_by,
             cache=cache,
+        )
+
+    def decode_session(
+        self,
+        cache: ModelKVCache,
+        first_logits: np.ndarray,
+        *,
+        max_new_tokens: int = 128,
+        stop_ids: Sequence[int] = (),
+        sampler: Callable[[np.ndarray], int] = greedy_sample,
+    ) -> DecodeSession:
+        """Build a step-at-a-time decode session over the dense cache.
+
+        This is the primitive both :meth:`generate` / :meth:`generate_from_cache`
+        and the serving engine's dense backends drive; the continuous-batching
+        scheduler calls :meth:`DecodeSession.advance` to interleave many
+        sessions token by token.
+        """
+        return DecodeSession(
+            lambda token_id: self.decode_step(token_id, cache),
+            first_logits,
+            max_new_tokens=max_new_tokens,
+            stop_ids=stop_ids,
+            sampler=sampler,
+            has_capacity=lambda: cache.length < cache.capacity,
         )

@@ -1,0 +1,55 @@
+"""Serving-engine API: request objects, streaming decode, continuous batching.
+
+* :mod:`repro.serving.request` — :class:`GenerationRequest` /
+  :class:`GenerationResult` / :class:`TokenEvent` / :class:`SamplingParams`
+  / :class:`RequestStats`.
+* :mod:`repro.serving.backends` — the pluggable :class:`DecodeBackend`
+  registry (``"dense"``, ``"blockwise"``, ``"cocktail"`` and the baseline
+  method names) built on the shared
+  :class:`~repro.model.decode.DecodeSession` step abstraction.
+* :mod:`repro.serving.scheduler` — FIFO admission, per-step round-robin
+  decode over in-flight sequences and capacity-aware recompute preemption.
+* :mod:`repro.serving.engine` — :class:`InferenceEngine` with ``submit()`` /
+  ``step()`` / ``stream()`` / ``run()`` / ``run_batch()``.
+"""
+
+from repro.serving.backends import (
+    BlockwiseBackend,
+    DecodeBackend,
+    PreparedSequence,
+    QuantizedDenseBackend,
+    backend_names,
+    build_quantization_request,
+    create_backend,
+    prompt_token_ids,
+    register_backend,
+)
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import (
+    GenerationRequest,
+    GenerationResult,
+    RequestStats,
+    SamplingParams,
+    TokenEvent,
+)
+from repro.serving.scheduler import ContinuousBatchingScheduler, SequenceState
+
+__all__ = [
+    "InferenceEngine",
+    "GenerationRequest",
+    "GenerationResult",
+    "RequestStats",
+    "SamplingParams",
+    "TokenEvent",
+    "DecodeBackend",
+    "QuantizedDenseBackend",
+    "BlockwiseBackend",
+    "PreparedSequence",
+    "register_backend",
+    "backend_names",
+    "create_backend",
+    "build_quantization_request",
+    "prompt_token_ids",
+    "ContinuousBatchingScheduler",
+    "SequenceState",
+]

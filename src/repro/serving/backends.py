@@ -1,0 +1,341 @@
+"""Pluggable decode backends and their registry.
+
+A :class:`DecodeBackend` owns everything method-specific about serving one
+request: prefill, quantization planning, cache preparation and the per-token
+decode step.  What it hands back to the engine is a
+:class:`~repro.model.decode.DecodeSession` wrapped in a
+:class:`PreparedSequence`, so the continuous-batching scheduler can drive
+every method — Cocktail's dense fake-quant path, Cocktail's blockwise
+Algorithm-1 path and all the paper's baselines — through the exact same
+step interface.
+
+Backends resolve by name through a registry: ``"dense"``/``"cocktail"``,
+``"blockwise"``, and the baseline method names from
+:data:`repro.baselines.registry.BASELINE_NAMES`.  New methods plug in via
+:func:`register_backend` (globally) or
+:meth:`repro.serving.engine.InferenceEngine.add_backend` (per engine).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import (
+    KVCacheQuantizer,
+    KVQuantizationPlan,
+    QuantizationRequest,
+)
+from repro.baselines.registry import BASELINE_NAMES, get_baseline
+from repro.core.cache import ChunkedLayerCache
+from repro.core.computation import chunk_level_decode_attention
+from repro.model.decode import DecodeSession
+from repro.model.kv_cache import LayerKVCache, ModelKVCache
+from repro.model.tokenizer import Tokenizer
+from repro.model.transformer import Transformer
+from repro.retrieval.chunking import chunk_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.serving.engine import InferenceEngine
+    from repro.serving.request import GenerationRequest
+
+
+def build_quantization_request(
+    context_words: Sequence[str],
+    query_words: Sequence[str],
+    chunk_size: int,
+    cache: ModelKVCache | None = None,
+) -> QuantizationRequest:
+    """Chunk a context and package everything a quantization search needs.
+
+    Shared by the serving backends, :meth:`CocktailPipeline.build_request`
+    and the evaluation harness so the request layout cannot drift.
+    """
+    chunks, tail = chunk_words(list(context_words), chunk_size)
+    return QuantizationRequest(
+        context_len=len(context_words),
+        chunk_size=chunk_size,
+        chunk_texts=[chunk.text for chunk in chunks],
+        chunk_spans=[(chunk.start, chunk.end) for chunk in chunks],
+        tail_span=(tail.start, tail.end) if tail is not None else None,
+        query_text=" ".join(query_words),
+        cache=cache,
+    )
+
+
+def prompt_token_ids(
+    tokenizer: Tokenizer,
+    context_words: Sequence[str],
+    query_words: Sequence[str],
+) -> list[int]:
+    """Token IDs of the full prompt (context, separator, query)."""
+    prompt_words = list(context_words) + ["<sep>"] + list(query_words)
+    return tokenizer.encode(prompt_words)
+
+
+@dataclass
+class PreparedSequence:
+    """A request after prefill, ready for step-at-a-time decoding.
+
+    Attributes
+    ----------
+    session:
+        The decode state machine the scheduler advances token by token.
+    plan:
+        The method's quantization plan (``None`` only for backends that do
+        not quantize at all).
+    n_prompt_tokens, n_context_tokens:
+        Prompt layout, reported back on the result.
+    live_tokens:
+        Current number of KV rows this sequence holds (prompt + generated),
+        used for capacity-aware admission and preemption.
+    details:
+        Backend-specific extras surfaced on the result (e.g. the blockwise
+        backend's chunked caches).
+    """
+
+    session: DecodeSession
+    plan: KVQuantizationPlan | None
+    n_prompt_tokens: int
+    n_context_tokens: int
+    live_tokens: Callable[[], int]
+    details: dict = field(default_factory=dict, repr=False)
+
+
+class DecodeBackend(abc.ABC):
+    """Method-specific prefill + decode-step implementation."""
+
+    #: Registry name (instances may override per construction).
+    name: str = "backend"
+
+    def __init__(self, engine: "InferenceEngine"):
+        self.engine = engine
+
+    @property
+    def model(self) -> Transformer:
+        return self.engine.model
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self.engine.tokenizer
+
+    def _stop_ids(self, request: "GenerationRequest") -> tuple[int, ...]:
+        stops: tuple[int, ...] = request.extra_stop_ids
+        if request.stop_on_special:
+            stops = (self.tokenizer.eos_id, self.tokenizer.sep_id) + stops
+        return stops
+
+    def _prefill(
+        self, request: "GenerationRequest"
+    ) -> tuple[ModelKVCache, np.ndarray, list[int]]:
+        """Full-precision prefill of the request prompt."""
+        prompt = prompt_token_ids(
+            self.tokenizer, request.context_words, request.query_words
+        )
+        cache = self.model.new_cache()
+        first_logits = self.model.prefill(prompt, cache)
+        cache.mark_context(len(request.context_words))
+        return cache, first_logits, prompt
+
+    @abc.abstractmethod
+    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+        """Prefill, plan/apply quantization and return the decode session."""
+
+
+class QuantizedDenseBackend(DecodeBackend):
+    """Fake-quantize the context cache, then decode on the standard path.
+
+    This one backend serves every method exposing the common
+    :class:`~repro.baselines.base.KVCacheQuantizer` interface: the FP16 /
+    Atom / KIVI / KVQuant baselines, Cocktail's dense mode and the ablation
+    variants.
+    """
+
+    def __init__(
+        self,
+        engine: "InferenceEngine",
+        quantizer: KVCacheQuantizer,
+        name: str | None = None,
+    ):
+        super().__init__(engine)
+        self.quantizer = quantizer
+        self.name = name or quantizer.name
+
+    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+        cache, first_logits, prompt = self._prefill(request)
+        qrequest = build_quantization_request(
+            request.context_words,
+            request.query_words,
+            self.engine.chunk_size,
+            cache,
+        )
+        plan = self.quantizer.plan(qrequest)
+        self.quantizer.apply(cache, plan)
+        session = self.model.decode_session(
+            cache,
+            first_logits,
+            max_new_tokens=request.max_new_tokens,
+            stop_ids=self._stop_ids(request),
+            sampler=request.sampling.build_sampler(),
+        )
+        return PreparedSequence(
+            session=session,
+            plan=plan,
+            n_prompt_tokens=len(prompt),
+            n_context_tokens=len(request.context_words),
+            live_tokens=lambda: cache.length,
+        )
+
+
+class _BlockwiseDecodeState:
+    """Per-sequence state of the blockwise (Algorithm 1) decode path.
+
+    The quantized context lives in per-layer :class:`ChunkedLayerCache`
+    segments; query and generated tokens accumulate in small FP16 decode
+    caches.  Each step runs chunk-level decode attention per layer.
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        cache: ModelKVCache,
+        chunked_caches: list[ChunkedLayerCache],
+    ):
+        self.model = model
+        self.chunked_caches = chunked_caches
+        config = model.config
+        n_context = cache.n_context
+        # The non-quantized region (query tokens) seeds the FP16 decode caches.
+        decode_capacity = cache.capacity - n_context
+        self.decode_caches: list[LayerKVCache] = []
+        for layer in cache.layers:
+            decode_cache = LayerKVCache(
+                config.n_kv_heads, config.head_dim, decode_capacity
+            )
+            decode_cache.append(
+                layer.k[n_context : layer.length].copy(),
+                layer.v[n_context : layer.length].copy(),
+            )
+            self.decode_caches.append(decode_cache)
+        self.position = cache.length
+        self.capacity = cache.capacity
+
+    def has_capacity(self) -> bool:
+        return self.position < self.capacity
+
+    def live_tokens(self) -> int:
+        return self.position
+
+    def step(self, token_id: int) -> np.ndarray:
+        """One decode step with chunk-level KV cache computation per layer."""
+        model = self.model
+        config = model.config
+        positions = np.asarray([self.position])
+        hidden = model.embed([token_id], positions)
+        for layer_index, block in enumerate(model.blocks):
+            attn_in = block.norm_attn.forward(hidden)
+            attention = block.attention
+            q = attention.project_q(attn_in, positions)[0]
+            k_new, v_new = attention.project_kv(attn_in, positions)
+            self.decode_caches[layer_index].append(k_new, v_new)
+            context_vectors = chunk_level_decode_attention(
+                q,
+                self.chunked_caches[layer_index],
+                self.decode_caches[layer_index].keys(),
+                self.decode_caches[layer_index].values(),
+                gqa_group=config.gqa_group,
+                scale=config.attention_temperature / np.sqrt(config.head_dim),
+            )
+            attn_out = np.einsum("he,hed->d", context_vectors, attention.weights.wo)
+            hidden = hidden + attn_out[None, :]
+            hidden = hidden + block.mlp.forward(block.norm_mlp.forward(hidden))
+        self.position += 1
+        return model._logits(hidden[0])
+
+
+class BlockwiseBackend(DecodeBackend):
+    """Cocktail's Algorithm 1 over the reordered mixed-precision cache."""
+
+    name = "blockwise"
+
+    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+        engine = self.engine
+        cache, first_logits, prompt = self._prefill(request)
+        qrequest = build_quantization_request(
+            request.context_words,
+            request.query_words,
+            engine.chunk_size,
+            cache,
+        )
+        plan = engine.quantizer.plan(qrequest)
+        chunked_caches = engine.quantizer.build_chunked_caches(cache, plan)
+        state = _BlockwiseDecodeState(self.model, cache, chunked_caches)
+        session = DecodeSession(
+            state.step,
+            first_logits,
+            max_new_tokens=request.max_new_tokens,
+            stop_ids=self._stop_ids(request),
+            sampler=request.sampling.build_sampler(),
+            has_capacity=state.has_capacity,
+        )
+        return PreparedSequence(
+            session=session,
+            plan=plan,
+            n_prompt_tokens=len(prompt),
+            n_context_tokens=len(request.context_words),
+            live_tokens=state.live_tokens,
+            details={"chunked_caches": chunked_caches},
+        )
+
+
+# -- registry ----------------------------------------------------------------
+
+BackendFactory = Callable[["InferenceEngine"], DecodeBackend]
+
+_BACKEND_FACTORIES: dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, overwrite: bool = False
+) -> None:
+    """Register a decode-backend factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _BACKEND_FACTORIES and not overwrite:
+        raise KeyError(f"backend {name!r} is already registered")
+    _BACKEND_FACTORIES[key] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """All globally registered backend names."""
+    return tuple(sorted(_BACKEND_FACTORIES))
+
+
+def create_backend(name: str, engine: "InferenceEngine") -> DecodeBackend:
+    """Instantiate the backend registered under ``name`` for ``engine``."""
+    key = name.lower()
+    try:
+        factory = _BACKEND_FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown decode backend {name!r}; registered: {list(backend_names())}"
+        ) from None
+    return factory(engine)
+
+
+def _dense_cocktail(engine: "InferenceEngine", name: str) -> DecodeBackend:
+    return QuantizedDenseBackend(engine, engine.quantizer, name=name)
+
+
+def _baseline_backend(engine: "InferenceEngine", name: str) -> DecodeBackend:
+    return QuantizedDenseBackend(engine, get_baseline(name), name=name)
+
+
+register_backend("dense", lambda engine: _dense_cocktail(engine, "dense"))
+register_backend("cocktail", lambda engine: _dense_cocktail(engine, "cocktail"))
+register_backend("blockwise", BlockwiseBackend)
+for _name in BASELINE_NAMES:
+    register_backend(_name, lambda engine, _n=_name: _baseline_backend(engine, _n))
+del _name

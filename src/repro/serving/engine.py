@@ -1,0 +1,334 @@
+"""The serving engine: request admission, continuous batching, streaming.
+
+:class:`InferenceEngine` is the public entry point of the redesigned
+inference API.  It owns the model/tokenizer substrate, one Cocktail
+quantizer (shared by the ``"dense"``/``"blockwise"``/``"cocktail"``
+backends) and a :class:`ContinuousBatchingScheduler`; requests are
+submitted as :class:`~repro.serving.request.GenerationRequest` objects and
+served step by step, one decode token per in-flight sequence per
+:meth:`step`.
+
+Typical use::
+
+    engine = InferenceEngine(model, tokenizer, CocktailConfig(), lexicon=vocab.lexicon)
+    result = engine.run(GenerationRequest(context_words, query_words, backend="blockwise"))
+    for event in engine.stream(GenerationRequest(context_words, query_words)):
+        ...  # TokenEvents arrive as they are decoded
+
+    ids = [engine.submit(r) for r in requests]      # mixed backends welcome
+    while engine.has_pending:
+        for event in engine.step():                 # continuous batching
+            ...
+    results = [engine.result(rid) for rid in ids]
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.config import CocktailConfig
+from repro.core.quantizer import CocktailQuantizer
+from repro.baselines.base import KVCacheQuantizer
+from repro.model.tokenizer import Tokenizer
+from repro.model.transformer import Transformer
+from repro.retrieval.base import Encoder
+from repro.serving.backends import (
+    DecodeBackend,
+    QuantizedDenseBackend,
+    backend_names,
+    create_backend,
+)
+from repro.serving.request import GenerationRequest, GenerationResult, TokenEvent
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    SequenceState,
+    terminal_event,
+)
+
+
+class InferenceEngine:
+    """Serves generation requests with continuous batching.
+
+    Parameters
+    ----------
+    model, tokenizer:
+        The inference substrate.
+    config:
+        Cocktail hyper-parameters (chunk size, thresholds, encoder choice)
+        used by the Cocktail backends and as the chunking granularity every
+        method's quantization request is built with.
+    encoder, lexicon, seed:
+        Forwarded to the Cocktail quantizer (same knobs the pipeline takes).
+    quantizer:
+        Optional pre-built Cocktail quantizer (overrides the three above).
+    max_running:
+        Maximum number of concurrently decoding sequences.
+    max_live_tokens:
+        Optional cap on the summed KV footprint of running sequences;
+        exceeding it triggers recompute preemption (see
+        :mod:`repro.serving.scheduler`).
+    clock:
+        Monotonic time source for the per-request stats (test hook).
+    """
+
+    def __init__(
+        self,
+        model: Transformer,
+        tokenizer: Tokenizer,
+        config: CocktailConfig | None = None,
+        *,
+        encoder: Encoder | None = None,
+        lexicon: dict[str, str] | None = None,
+        quantizer: CocktailQuantizer | None = None,
+        seed: int = 0,
+        max_running: int = 8,
+        max_live_tokens: int | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config or CocktailConfig()
+        self.quantizer = quantizer or CocktailQuantizer(
+            self.config, encoder, lexicon=lexicon, seed=seed
+        )
+        self.scheduler = ContinuousBatchingScheduler(
+            max_running=max_running, max_live_tokens=max_live_tokens
+        )
+        self._clock = clock
+        self._backends: dict[str, DecodeBackend] = {}
+        self._states: dict[str, SequenceState] = {}
+        self._results: dict[str, GenerationResult] = {}
+        self._counter = 0
+
+    # -- backends ------------------------------------------------------------
+
+    @property
+    def chunk_size(self) -> int:
+        """Chunking granularity used for every quantization request."""
+        return self.config.chunk_size
+
+    def add_backend(
+        self,
+        name: str,
+        quantizer: KVCacheQuantizer | None = None,
+        *,
+        backend: DecodeBackend | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        """Register an engine-local backend under ``name``.
+
+        Pass either a :class:`KVCacheQuantizer` (wrapped in the generic
+        quantize-then-dense-decode backend — how the evaluation harness
+        plugs in the ablation variants) or a ready
+        :class:`DecodeBackend` instance.
+        """
+        if (quantizer is None) == (backend is None):
+            raise ValueError("pass exactly one of quantizer= or backend=")
+        key = name.lower()
+        if key in self._backends and not overwrite:
+            raise KeyError(f"backend {name!r} is already registered on this engine")
+        if backend is None:
+            backend = QuantizedDenseBackend(self, quantizer, name=key)
+        self._backends[key] = backend
+
+    def backend_names(self) -> tuple[str, ...]:
+        """Backends this engine can resolve (global registry + engine-local)."""
+        return tuple(sorted(set(backend_names()) | set(self._backends)))
+
+    def get_backend(self, name: str) -> DecodeBackend:
+        """Resolve a backend by name (engine-local first, then the registry)."""
+        key = name.lower()
+        if key not in self._backends:
+            self._backends[key] = create_backend(key, self)
+        return self._backends[key]
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def submit(self, request: GenerationRequest) -> str:
+        """Queue a request for execution (FIFO); returns its request ID."""
+        if request.request_id is None:
+            self._counter += 1
+            request.request_id = f"req-{self._counter}"
+        rid = request.request_id
+        if rid in self._states or rid in self._results:
+            raise ValueError(f"duplicate request_id {rid!r}")
+        self.get_backend(request.backend)  # fail fast on unknown backends
+        state = SequenceState(request=request)
+        state.stats.submitted_at = self._clock()
+        self._states[rid] = state
+        self.scheduler.enqueue(state)
+        return rid
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any submitted request is still waiting or running."""
+        return self.scheduler.has_work
+
+    @property
+    def n_running(self) -> int:
+        """Number of sequences currently decoding."""
+        return len(self.scheduler.running)
+
+    @property
+    def n_waiting(self) -> int:
+        """Number of requests queued for admission."""
+        return len(self.scheduler.waiting)
+
+    def is_finished(self, request_id: str) -> bool:
+        """Whether ``request_id`` has completed."""
+        return request_id in self._results
+
+    def result(self, request_id: str, *, pop: bool = False) -> GenerationResult:
+        """Final result of a completed request.
+
+        Results are retained until read with ``pop=True`` (or forever when
+        only peeked) — long-lived engines should pop, since blockwise
+        results carry the request's full chunked KV caches in ``details``.
+        """
+        if request_id in self._results:
+            if pop:
+                return self._results.pop(request_id)
+            return self._results[request_id]
+        if request_id in self._states:
+            raise RuntimeError(f"request {request_id!r} has not finished yet")
+        raise KeyError(f"unknown request_id {request_id!r}")
+
+    # -- the engine loop -----------------------------------------------------
+
+    def step(self) -> list[TokenEvent]:
+        """One engine iteration: admit, decode one round, rebalance.
+
+        Admission moves FIFO-queue heads into the running set while slots
+        and token headroom last (their prompts prefill here).  The decode
+        round then advances every running sequence by exactly one token —
+        this is the continuous batching: new arrivals join mid-flight and
+        short requests drain without waiting for long ones.  Finally, if
+        accumulated decode tokens pushed the KV footprint over budget, the
+        most recently admitted sequences are preempted for recomputation.
+
+        Returns the :class:`TokenEvent` stream produced by this step, in
+        round-robin order.
+        """
+        while (state := self.scheduler.next_to_admit()) is not None:
+            self._admit(state)
+        events: list[TokenEvent] = []
+        for state in self.scheduler.decode_order():
+            events.extend(self._advance(state))
+        while self.scheduler.over_budget():
+            victim = self.scheduler.pop_preemption_victim()
+            if victim is None:
+                break
+            victim.prepared = None
+            victim.stats.n_preemptions += 1
+            self.scheduler.requeue_front(victim)
+        for state in self.scheduler.waiting:
+            state.stats.n_queue_steps += 1
+        return events
+
+    def _admit(self, state: SequenceState) -> None:
+        """Prefill the queue head and move it into the running set."""
+        backend = self.get_backend(state.request.backend)
+        prepared = backend.prepare(state.request)
+        # After a preemption the request is recomputed from scratch; replay
+        # the already-streamed tokens silently so consumers see no duplicates
+        # (deterministic sampling reproduces the identical prefix).
+        for _ in range(state.n_emitted):
+            if prepared.session.finished:
+                break
+            prepared.session.advance()
+            state.stats.n_decode_steps += 1
+        state.prepared = prepared
+        if state.stats.scheduled_at is None:
+            state.stats.scheduled_at = self._clock()
+        self.scheduler.mark_running(state)
+
+    def _advance(self, state: SequenceState) -> list[TokenEvent]:
+        """Advance one running sequence by one decode step."""
+        session = state.prepared.session
+        events: list[TokenEvent] = []
+        token = session.advance()
+        state.stats.n_decode_steps += 1
+        if token is not None:
+            index = state.n_emitted
+            events.append(
+                TokenEvent(
+                    request_id=state.request_id,
+                    token_id=token,
+                    text=self.tokenizer.decode([token]),
+                    index=index,
+                    is_first=index == 0,
+                )
+            )
+            state.n_emitted += 1
+            state.stats.n_generated = state.n_emitted
+            if index == 0:
+                state.stats.first_token_at = self._clock()
+        if session.finished:
+            events.append(self._finalize(state))
+        return events
+
+    def _finalize(self, state: SequenceState) -> TokenEvent:
+        """Record the result of a finished sequence and retire it."""
+        session = state.prepared.session
+        prepared = state.prepared
+        state.finished = True
+        state.stats.finished_at = self._clock()
+        state.stats.n_generated = session.n_generated
+        result = GenerationResult(
+            request_id=state.request_id,
+            backend=state.request.backend,
+            answer_text=self.tokenizer.decode(session.generated),
+            token_ids=list(session.generated),
+            stopped_by=session.stopped_by,
+            n_context_tokens=prepared.n_context_tokens,
+            n_prompt_tokens=prepared.n_prompt_tokens,
+            plan=prepared.plan,
+            stats=state.stats,
+            details=dict(prepared.details),
+        )
+        self._results[state.request_id] = result
+        self.scheduler.remove(state)
+        del self._states[state.request_id]
+        return terminal_event(state, session.stopped_by)
+
+    # -- high-level entry points ---------------------------------------------
+
+    def stream(self, request: GenerationRequest) -> Iterator[TokenEvent]:
+        """Submit ``request`` and yield its tokens as they are decoded.
+
+        Other in-flight requests keep making progress while this one is
+        streamed (every yield batch corresponds to one engine step).  The
+        final yielded event has ``is_last=True`` and carries ``stopped_by``;
+        afterwards :meth:`result` returns the full outcome.
+        """
+        rid = self.submit(request)
+        while not self.is_finished(rid):
+            for event in self.step():
+                if event.request_id == rid:
+                    yield event
+
+    def run(self, request: GenerationRequest, *, pop: bool = False) -> GenerationResult:
+        """Submit ``request`` and drive the engine until it completes.
+
+        ``pop=True`` releases the stored result (see :meth:`result`).
+        """
+        rid = self.submit(request)
+        while not self.is_finished(rid):
+            self.step()
+        return self.result(rid, pop=pop)
+
+    def run_batch(
+        self, requests: Iterable[GenerationRequest], *, pop: bool = False
+    ) -> list[GenerationResult]:
+        """Serve a batch of requests via continuous batching.
+
+        All requests are submitted up front and decoded concurrently
+        (subject to the scheduler's capacity limits); results come back in
+        submission order.  ``pop=True`` releases the stored results (see
+        :meth:`result`).
+        """
+        rids = [self.submit(request) for request in requests]
+        while not all(self.is_finished(rid) for rid in rids):
+            self.step()
+        return [self.result(rid, pop=pop) for rid in rids]

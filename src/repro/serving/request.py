@@ -1,0 +1,191 @@
+"""Request, result and streaming-event objects of the serving API.
+
+A :class:`GenerationRequest` packages everything the engine needs to serve
+one long-context query: the words, the decode budget, the sampling policy
+and — per request — which :class:`~repro.serving.backends.DecodeBackend`
+(and therefore which KV-cache quantization method) executes the decode.
+:class:`TokenEvent` is the unit of streaming; :class:`GenerationResult`
+carries the final answer plus per-request serving stats (queue time, TTFT,
+TPOT) measured by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import KVQuantizationPlan
+from repro.model.decode import check_max_new_tokens
+from repro.model.sampling import greedy_sample, top_k_sample
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Per-request sampling policy.
+
+    ``top_k=1`` (the default) is greedy decoding.  A fresh sampler callable
+    is built every time a request is (re)scheduled, so a preempted request
+    that is recomputed from scratch replays the identical random stream and
+    reproduces the same tokens.
+    """
+
+    top_k: int = 1
+    temperature: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {self.temperature}")
+
+    @property
+    def is_greedy(self) -> bool:
+        """Whether this policy is deterministic argmax decoding."""
+        return self.top_k == 1
+
+    def build_sampler(self) -> Callable[[np.ndarray], int]:
+        """Return a fresh logits->token callable for one scheduling attempt."""
+        if self.is_greedy:
+            return greedy_sample
+        rng = np.random.default_rng(self.seed)
+        return lambda logits: top_k_sample(
+            logits, self.top_k, rng, temperature=self.temperature
+        )
+
+
+@dataclass
+class GenerationRequest:
+    """One long-context generation request.
+
+    Attributes
+    ----------
+    context_words, query_words:
+        The request, as word sequences (same shape the pipeline accepts).
+    max_new_tokens:
+        Decode budget; must be >= 1.
+    backend:
+        Name resolved through the :mod:`repro.serving.backends` registry —
+        ``"dense"`` / ``"blockwise"`` for Cocktail, or a baseline method
+        name (``"fp16"``, ``"atom"``, ``"kivi"``, ``"kvquant"``).
+    sampling:
+        Sampling policy (greedy by default).
+    stop_on_special:
+        Stop on the tokenizer's EOS/SEP tokens (matches the pipeline).
+    extra_stop_ids:
+        Additional stop-token IDs for this request.
+    request_id:
+        Optional caller-chosen ID; the engine assigns ``"req-<n>"`` when
+        left ``None``.
+    """
+
+    context_words: Sequence[str]
+    query_words: Sequence[str]
+    max_new_tokens: int = 128
+    backend: str = "dense"
+    sampling: SamplingParams = field(default_factory=SamplingParams)
+    stop_on_special: bool = True
+    extra_stop_ids: tuple[int, ...] = ()
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        self.context_words = tuple(self.context_words)
+        self.query_words = tuple(self.query_words)
+        self.extra_stop_ids = tuple(int(s) for s in self.extra_stop_ids)
+        self.max_new_tokens = check_max_new_tokens(self.max_new_tokens)
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
+
+    @property
+    def n_prompt_tokens(self) -> int:
+        """Prompt length (context + separator + query) without tokenizing."""
+        return len(self.context_words) + 1 + len(self.query_words)
+
+
+@dataclass(frozen=True)
+class TokenEvent:
+    """One streamed decode event.
+
+    Every generated token yields one event; a final event with
+    ``token_id=None`` and ``is_last=True`` closes the stream and carries the
+    request's ``stopped_by`` reason.
+    """
+
+    request_id: str
+    token_id: int | None
+    text: str
+    index: int
+    is_first: bool = False
+    is_last: bool = False
+    stopped_by: str | None = None
+
+    @property
+    def end_of_stream(self) -> bool:
+        """Whether this is the terminal (non-token) event of the stream."""
+        return self.token_id is None
+
+
+@dataclass
+class RequestStats:
+    """Per-request serving statistics collected by the engine.
+
+    Wall-clock timestamps come from the engine's monotonic clock; step
+    counters are exact (one decode step == one scheduler visit).
+    """
+
+    submitted_at: float | None = None
+    scheduled_at: float | None = None
+    first_token_at: float | None = None
+    finished_at: float | None = None
+    n_generated: int = 0
+    n_decode_steps: int = 0
+    n_queue_steps: int = 0
+    n_preemptions: int = 0
+
+    @property
+    def queue_seconds(self) -> float | None:
+        """Time spent waiting for admission (submit -> first schedule)."""
+        if self.submitted_at is None or self.scheduled_at is None:
+            return None
+        return self.scheduled_at - self.submitted_at
+
+    @property
+    def ttft_seconds(self) -> float | None:
+        """Time to first token (submit -> first streamed token)."""
+        if self.submitted_at is None or self.first_token_at is None:
+            return None
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def tpot_seconds(self) -> float | None:
+        """Mean time per output token after the first one."""
+        if self.first_token_at is None or self.finished_at is None:
+            return None
+        if self.n_generated <= 1:
+            return 0.0
+        return (self.finished_at - self.first_token_at) / (self.n_generated - 1)
+
+    @property
+    def total_seconds(self) -> float | None:
+        """End-to-end latency (submit -> finish)."""
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class GenerationResult:
+    """Final outcome of one served request."""
+
+    request_id: str
+    backend: str
+    answer_text: str
+    token_ids: list[int]
+    stopped_by: str
+    n_context_tokens: int
+    n_prompt_tokens: int
+    plan: KVQuantizationPlan | None = None
+    stats: RequestStats = field(default_factory=RequestStats)
+    details: dict = field(default_factory=dict, repr=False)

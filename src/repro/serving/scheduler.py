@@ -1,0 +1,162 @@
+"""Continuous-batching scheduler.
+
+Policy, in one paragraph: requests are admitted FIFO from a waiting queue
+whenever a slot (``max_running``) and KV-token headroom
+(``max_live_tokens``) are available; each engine step then performs one
+round-robin pass over the running set, advancing every in-flight sequence
+by exactly one decode step, so short and long requests interleave instead
+of head-of-line blocking.  If the live KV-token footprint outgrows the
+budget (decode tokens accumulate after admission), the most recently
+admitted sequence is preempted: its prepared state is dropped and the
+request is returned to the *front* of the waiting queue, to be recomputed
+from scratch later (recompute-style preemption; deterministic sampling
+replays the identical tokens).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serving.backends import PreparedSequence
+from repro.serving.request import GenerationRequest, RequestStats, TokenEvent
+
+
+@dataclass
+class SequenceState:
+    """Scheduler-side bookkeeping for one submitted request."""
+
+    request: GenerationRequest
+    stats: RequestStats = field(default_factory=RequestStats)
+    prepared: PreparedSequence | None = None
+    #: Tokens already streamed to consumers (survives preemption; replayed
+    #: tokens are suppressed instead of re-emitted).
+    n_emitted: int = 0
+    finished: bool = False
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    def admission_tokens(self) -> int:
+        """KV rows restored immediately on (re)admission.
+
+        A fresh request prefills its prompt plus one decode row; a
+        preempted request additionally replays every token it already
+        emitted, so the estimate must include them or a tight budget
+        admits the sequence only to preempt it again in the same step.
+        """
+        return self.request.n_prompt_tokens + self.n_emitted + 1
+
+    def live_tokens(self) -> int:
+        """KV rows currently held (0 while waiting)."""
+        return self.prepared.live_tokens() if self.prepared is not None else 0
+
+
+class ContinuousBatchingScheduler:
+    """FIFO admission, round-robin decode order, LIFO recompute preemption.
+
+    Parameters
+    ----------
+    max_running:
+        Maximum number of sequences decoded concurrently.
+    max_live_tokens:
+        Optional cap on the summed KV rows of all running sequences.
+        Admission is optimistic — a sequence is admitted if the *current*
+        footprint plus its prompt fits — so the cap can be exceeded later as
+        decode tokens accumulate; :meth:`preemption_victims` then names the
+        sequences to roll back.  ``None`` disables the cap (admission is
+        bounded by ``max_running`` only).
+    """
+
+    def __init__(self, *, max_running: int = 8, max_live_tokens: int | None = None):
+        if max_running < 1:
+            raise ValueError(f"max_running must be >= 1, got {max_running}")
+        if max_live_tokens is not None and max_live_tokens < 1:
+            raise ValueError(f"max_live_tokens must be >= 1, got {max_live_tokens}")
+        self.max_running = max_running
+        self.max_live_tokens = max_live_tokens
+        self.waiting: deque[SequenceState] = deque()
+        self.running: list[SequenceState] = []  # admission order
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.waiting or self.running)
+
+    def live_tokens(self) -> int:
+        """Summed KV rows of all running sequences."""
+        return sum(state.live_tokens() for state in self.running)
+
+    def next_to_admit(self) -> SequenceState | None:
+        """Head of the waiting queue, if it fits right now (FIFO only).
+
+        A sequence whose prompt alone exceeds the token budget is still
+        admitted when nothing is running, otherwise it could never start.
+        """
+        if not self.waiting or len(self.running) >= self.max_running:
+            return None
+        head = self.waiting[0]
+        if self.max_live_tokens is not None and self.running:
+            if self.live_tokens() + head.admission_tokens() > self.max_live_tokens:
+                return None
+        return head
+
+    # -- transitions ---------------------------------------------------------
+
+    def enqueue(self, state: SequenceState) -> None:
+        """Append a new request to the back of the FIFO queue."""
+        self.waiting.append(state)
+
+    def requeue_front(self, state: SequenceState) -> None:
+        """Return a preempted request to the front of the queue."""
+        self.waiting.appendleft(state)
+
+    def mark_running(self, state: SequenceState) -> None:
+        """Move the queue head to the running set (must be the head)."""
+        if not self.waiting or self.waiting[0] is not state:
+            raise ValueError("only the head of the waiting queue can be admitted")
+        self.waiting.popleft()
+        self.running.append(state)
+
+    def remove(self, state: SequenceState) -> None:
+        """Drop a finished sequence from the running set."""
+        self.running.remove(state)
+
+    def decode_order(self) -> list[SequenceState]:
+        """Snapshot of the running set in admission (round-robin) order."""
+        return list(self.running)
+
+    # -- preemption ----------------------------------------------------------
+
+    def over_budget(self) -> bool:
+        """Whether the running set currently exceeds the token budget."""
+        if self.max_live_tokens is None:
+            return False
+        return self.live_tokens() > self.max_live_tokens
+
+    def pop_preemption_victim(self) -> SequenceState | None:
+        """Remove and return the most recently admitted sequence.
+
+        The oldest sequence is never preempted (LIFO victim selection):
+        preempting the newest wastes the least completed work and the
+        survivor guarantees forward progress.  Returns ``None`` when only
+        one sequence is running.
+        """
+        if len(self.running) <= 1:
+            return None
+        return self.running.pop()
+
+
+def terminal_event(state: SequenceState, stopped_by: str) -> TokenEvent:
+    """The end-of-stream event closing a request's token stream."""
+    return TokenEvent(
+        request_id=state.request_id,
+        token_id=None,
+        text="",
+        index=state.n_emitted,
+        is_first=False,
+        is_last=True,
+        stopped_by=stopped_by,
+    )

@@ -8,6 +8,7 @@ from repro.evaluation.ablation import chunk_size_sweep, module_ablation
 from repro.evaluation.efficiency import (
     memory_table,
     representative_profile,
+    serving_stats_table,
     throughput_table,
     tpot_table,
 )
@@ -60,6 +61,23 @@ class TestEfficiencyTables:
         )
         assert table.get("FP16", "4096") is None
         assert table.get("Cocktail", "1") is not None
+
+
+class TestMeasuredServingStats:
+    def test_serving_stats_table_serves_all_requests(self):
+        table = serving_stats_table(
+            n_requests=4,
+            methods=("dense", "fp16"),
+            max_new_tokens=4,
+            max_running=2,
+        )
+        assert table.get("dense", "requests") == 2.0
+        assert table.get("FP16", "requests") == 2.0
+        for row in ("dense", "FP16"):
+            assert table.get(row, "tokens") > 0
+            assert table.get(row, "queue ms") >= 0.0
+            assert table.get(row, "ttft ms") >= table.get(row, "queue ms")
+            assert table.get(row, "tpot ms") >= 0.0
 
 
 class TestAblationRunners:
