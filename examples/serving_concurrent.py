@@ -70,18 +70,25 @@ def main() -> None:
     print("\nper-request serving stats (simulation speed):")
     header = (
         f"{'request':>8} {'backend':>10} {'tokens':>6} {'queue ms':>9} "
-        f"{'ttft ms':>8} {'tpot ms':>8}  {'stopped_by':>10}  answer"
+        f"{'ttft ms':>8} {'tpot ms':>8} {'ctx KiB':>8}  {'stopped_by':>10}  answer"
     )
     print(header)
     for rid, request in zip(rids, requests):
         result = engine.result(rid)
         stats = result.stats
+        kv = result.details.get("kv_bytes", {})
+        ctx_kib = f"{kv['context_bytes'] / 1024:.1f}" if kv else "n/a"
         print(
             f"{rid:>8} {result.backend:>10} {len(result.token_ids):>6} "
             f"{fmt_ms(stats.queue_seconds):>9} {fmt_ms(stats.ttft_seconds):>8} "
-            f"{fmt_ms(stats.tpot_seconds):>8}  {result.stopped_by:>10}  "
+            f"{fmt_ms(stats.tpot_seconds):>8} {ctx_kib:>8}  {result.stopped_by:>10}  "
             f"{result.answer_text[:42]}"
         )
+    print(
+        f"\nshared KV pool: peak {engine.pool.peak_allocated_blocks} pages "
+        f"({engine.pool.peak_bytes / 1024:.1f} KiB measured), "
+        f"{engine.pool.n_allocated} still allocated (all pages returned)"
+    )
 
 
 if __name__ == "__main__":

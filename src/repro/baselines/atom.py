@@ -53,3 +53,16 @@ class AtomQuantizer(KVCacheQuantizer):
             k_hat = group_quantize(k, self.bits, group).dequantize()
             v_hat = group_quantize(v, self.bits, group).dequantize()
             cache.replace_context_kv(layer_index, k_hat, v_hat)
+
+    def encode_context(self, cache, plan: KVQuantizationPlan):
+        """Packed group-quantized storage (token-local channel groups)."""
+        from repro.kvpool.codecs import encode_per_token_groups
+
+        encodings = []
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            group = min(self.group_size, k.shape[-1])
+            encodings.append(
+                encode_per_token_groups(k, v, plan.token_bits, group)
+            )
+        return encodings

@@ -140,6 +140,21 @@ class KVCacheQuantizer(abc.ABC):
     def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
         """Quantize the context region of ``cache`` in place (fake-quant view)."""
 
+    def encode_context(self, cache, plan: KVQuantizationPlan):
+        """Packed-storage encodings of the context region, or ``None``.
+
+        Returns one ``(K, V)`` pair of
+        :class:`~repro.kvpool.codecs.TensorEncoding` per layer whose decoded
+        floats equal :meth:`apply`'s fake-quant output bit for bit — this is
+        what the paged KV cache stores as actually-packed codes + scales.
+        The default returns ``None``, telling the paged backend to fall back
+        to :meth:`apply` (the context pages then hold the fake-quantized
+        floats at full precision, so correctness never depends on a method
+        shipping an encoder).
+        """
+        del cache, plan
+        return None
+
     def plan_and_apply(
         self, request: QuantizationRequest, cache: ModelKVCache
     ) -> KVQuantizationPlan:

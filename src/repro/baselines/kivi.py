@@ -49,3 +49,40 @@ class KIVIQuantizer(KVCacheQuantizer):
             k_hat = fake_quantize_per_channel(k, self.bits)
             v_hat = fake_quantize_per_token(v, self.bits)
             cache.replace_context_kv(layer_index, k_hat, v_hat)
+
+    def encode_context(self, cache, plan: KVQuantizationPlan):
+        """Packed storage: per-channel K codes (shared scales) + per-token V."""
+        from repro.kvpool.codecs import (
+            PerChannelCodec,
+            PerTokenCodec,
+            TensorEncoding,
+            encode_fitted,
+        )
+
+        encodings = []
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            n_tokens, h, d = k.shape
+            if n_tokens == 0:
+                empty = TensorEncoding(
+                    n_tokens=0,
+                    n_kv_heads=h,
+                    head_dim=d,
+                    token_bits=plan.token_bits,
+                )
+                encodings.append((empty, empty))
+                continue
+            k_enc = encode_fitted(k, plan.token_bits, PerChannelCodec, self.bits)
+            v_codec = PerTokenCodec(self.bits, h, d)
+            codes, meta = v_codec.encode(v)
+            v_enc = TensorEncoding(
+                n_tokens=n_tokens,
+                n_kv_heads=h,
+                head_dim=d,
+                token_bits=plan.token_bits,
+                codes=codes,
+                meta=meta,
+                codecs={int(self.bits): v_codec},
+            )
+            encodings.append((k_enc, v_enc))
+        return encodings

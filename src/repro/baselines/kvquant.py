@@ -18,7 +18,6 @@ from repro.baselines.base import (
 )
 from repro.model.kv_cache import ModelKVCache
 from repro.quant.dtypes import BitWidth
-from repro.quant.nonuniform import nuq_quantize
 
 
 class KVQuantQuantizer(KVCacheQuantizer):
@@ -81,15 +80,14 @@ class KVQuantQuantizer(KVCacheQuantizer):
         "outlier" structure that is consistent across tokens) is isolated
         first, the residual is scaled per channel, and the scaled residual is
         quantized against a fitted non-uniform codebook; all normalisation is
-        inverted after dequantization.
+        inverted after dequantization.  The numerics live in
+        :class:`~repro.kvpool.codecs.NuqChannelNormCodec` so this fake-quant
+        view and the paged cache's packed storage cannot drift.
         """
-        channel_mean = x.mean(axis=0, keepdims=True)
-        centered = x - channel_mean
-        scale = np.max(np.abs(centered), axis=0, keepdims=True)
-        scale = np.maximum(scale, 1e-12)
-        normalised = centered / scale
-        dequantized = nuq_quantize(normalised, self.bits).dequantize()
-        return dequantized * scale + channel_mean
+        from repro.kvpool.codecs import NuqChannelNormCodec
+
+        codec = NuqChannelNormCodec(x, self.bits)
+        return codec.decode(codec.take_codes(), None)
 
     def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
         """Quantize non-outlier context tokens with normalised nuq codebooks."""
@@ -103,3 +101,18 @@ class KVQuantQuantizer(KVCacheQuantizer):
             k[low_mask] = self._nuq_normalized(k[low_mask])
             v[low_mask] = self._nuq_normalized(v[low_mask])
             cache.replace_context_kv(layer_index, k, v)
+
+    def encode_context(self, cache, plan: KVQuantizationPlan):
+        """Packed nuq codes per token; outlier tokens stay FP16 float rows."""
+        from repro.kvpool.codecs import NuqChannelNormCodec, encode_fitted
+
+        encodings = []
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            encodings.append(
+                (
+                    encode_fitted(k, plan.token_bits, NuqChannelNormCodec, self.bits),
+                    encode_fitted(v, plan.token_bits, NuqChannelNormCodec, self.bits),
+                )
+            )
+        return encodings

@@ -121,6 +121,24 @@ class CocktailQuantizer(KVCacheQuantizer):
                 v[mask] = group_quantize(v[mask], bits, head_dim).dequantize()
             cache.replace_context_kv(layer_index, k, v)
 
+    def encode_context(self, cache: ModelKVCache, plan: KVQuantizationPlan):
+        """Packed per-``(token, head)``-group storage of the context region.
+
+        Uses the exact :func:`~repro.quant.group.group_quantize` numerics
+        :meth:`apply` runs, so the paged cache's dequantized gathers match
+        the dense fake-quant path bit for bit; only the storage changes
+        (bit-packed codes + FP16-accounted scales instead of floats).
+        """
+        from repro.kvpool.codecs import encode_per_token_groups
+
+        encodings = []
+        for layer_index in range(cache.n_layers):
+            k, v = cache.context_kv(layer_index)
+            encodings.append(
+                encode_per_token_groups(k, v, plan.token_bits, k.shape[-1])
+            )
+        return encodings
+
     def build_chunked_caches(
         self, cache: ModelKVCache, plan: KVQuantizationPlan
     ) -> list[ChunkedLayerCache]:

@@ -31,7 +31,7 @@ from repro.evaluation.setup import (
 from repro.hardware.gpu import A800_80GB, GPUSpec
 from repro.hardware.latency import tpot_microseconds
 from repro.hardware.layout import KVCacheProfile
-from repro.hardware.memory import gpu_memory_gb
+from repro.hardware.memory import analytic_context_kv_bytes, gpu_memory_gb
 from repro.hardware.throughput import throughput_curve
 from repro.model.config import SIM_MODEL_NAMES, get_model_spec
 from repro.serving.engine import InferenceEngine
@@ -106,7 +106,13 @@ def memory_table(
     context_lens: dict[str, int] | None = None,
     output_len: int = 128,
 ) -> ResultTable:
-    """GPU memory (GiB) per model and method — the data behind Figure 4."""
+    """GPU memory (GiB) per model and method — the data behind Figure 4.
+
+    These numbers are *analytic* (paper-scale models through the hardware
+    model); :func:`measured_pool_table` reports the bytes the paged block
+    pool actually holds for the same methods, next to the analytic estimate
+    applied to the identical request.
+    """
     context_lens = context_lens or EFFICIENCY_CONTEXT_LENS
     profiles = profiles_for_methods(methods)
     columns = [get_model_spec(name).display_name for name in model_names]
@@ -186,6 +192,74 @@ def throughput_table(
     return table
 
 
+def measured_pool_table(
+    methods: Sequence[str] = DEFAULT_METHODS,
+    *,
+    dataset: str = "qmsum",
+    model_name: str = "llama2-7b",
+    chunk_size: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """Measured paged-pool bytes per method, next to the analytic estimate.
+
+    One representative request per method is served through a paged
+    :class:`~repro.serving.engine.InferenceEngine`; the engine's shared
+    :class:`~repro.kvpool.BlockPool` is walked for the bytes the request's
+    context pages actually hold (packed codes + scales + FP16-kept rows +
+    page-granularity fragmentation).  The ``analytic B`` column applies the
+    Figure-4 byte conventions to the *same* request's quantization plan, so
+    the gap between the two columns is exactly the allocator reality the
+    analytic model cannot see.  ``x fp16`` is the measured compression
+    against FP16 pages at the same workload.
+    """
+    vocab = shared_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model(model_name, tokenizer, seed=seed)
+    sample = build_dataset(dataset, 1, vocab=vocab, seed=seed)[0]
+    config = CocktailConfig(chunk_size=chunk_size)
+    table = ResultTable(
+        title="Measured KV-pool bytes vs analytic estimate (context region)",
+        row_names=[method_display_name(m) for m in methods],
+        column_names=["measured B", "analytic B", "fp16 B", "x fp16"],
+    )
+    for method in methods:
+        engine = InferenceEngine(
+            model, tokenizer, config, lexicon=vocab.lexicon, seed=seed
+        )
+        if method.lower() not in engine.backend_names():
+            engine.add_backend(
+                method,
+                build_quantizer(method, vocab=vocab, cocktail_config=config, seed=seed),
+            )
+        result = engine.run(
+            GenerationRequest(
+                sample.context_words,
+                sample.query_words,
+                max_new_tokens=1,
+                backend=method,
+            ),
+            pop=True,
+        )
+        measured = result.details["kv_bytes"]
+        analytic = analytic_context_kv_bytes(
+            result.plan.token_bits,
+            n_layers=model.config.n_layers,
+            n_kv_heads=model.config.n_kv_heads,
+            head_dim=model.config.head_dim,
+        )
+        row = method_display_name(method)
+        table.set(row, "measured B", float(measured["context_bytes"]))
+        table.set(row, "analytic B", float(analytic))
+        table.set(row, "fp16 B", float(measured["context_fp16_bytes"]))
+        ratio = (
+            measured["context_fp16_bytes"] / measured["context_bytes"]
+            if measured["context_bytes"]
+            else float("inf")
+        )
+        table.set(row, "x fp16", ratio)
+    return table
+
+
 #: Small request shape used by the measured serving experiment (kept tiny so
 #: the simulation-speed engine finishes in test time).
 SERVING_SAMPLE_SPEC = DatasetSpec(
@@ -216,8 +290,11 @@ def serving_stats_table(
     ``n_requests`` requests round-robin over ``methods`` are submitted at
     once and served concurrently; the table reports wall-clock means of
     queue time, TTFT and TPOT (milliseconds) plus generated tokens per
-    method.  This complements the analytic Figure-6 model with numbers the
-    engine actually achieves (at simulation speed, not GPU speed).
+    method, and — because every sequence lives in the shared paged block
+    pool — the *measured* mean context-cache and total KV bytes each
+    method's requests held at completion.  This complements the analytic
+    Figure-6 model with numbers the engine actually achieves (at simulation
+    speed, not GPU speed).
     """
     if n_requests < 1:
         raise ValueError(f"n_requests must be >= 1, got {n_requests}")
@@ -250,7 +327,15 @@ def serving_stats_table(
     table = ResultTable(
         title=f"Measured serving stats ({n_requests} concurrent requests)",
         row_names=[method_display_name(m) for m in methods],
-        column_names=["requests", "tokens", "queue ms", "ttft ms", "tpot ms"],
+        column_names=[
+            "requests",
+            "tokens",
+            "queue ms",
+            "ttft ms",
+            "tpot ms",
+            "ctx KV B",
+            "KV B",
+        ],
     )
     for method in methods:
         rows = [r for r in results if r.backend == method]
@@ -266,4 +351,9 @@ def serving_stats_table(
             values = [v for v in values if v is not None]
             mean = sum(values) / len(values) if values else 0.0
             table.set(row, column, mean * 1e3)
+        for column, key in (("ctx KV B", "context_bytes"), ("KV B", "total_bytes")):
+            values = [
+                r.details["kv_bytes"][key] for r in rows if "kv_bytes" in r.details
+            ]
+            table.set(row, column, sum(values) / len(values) if values else 0.0)
     return table

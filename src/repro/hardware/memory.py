@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hardware.gpu import GiB, GPUSpec
 from repro.hardware.layout import KVCacheProfile, LayoutKind
 from repro.model.config import ModelSpec
@@ -43,6 +45,34 @@ def kv_cache_bytes_per_token(spec: ModelSpec, profile: KVCacheProfile) -> float:
         # Sparse FP16 outliers need an index per outlier token.
         outlier_fraction = profile.bit_fractions.get(BitWidth.FP16, 0.0)
         metadata += outlier_fraction * spec.n_layers * spec.n_kv_heads * 4
+    return payload + metadata
+
+
+def analytic_context_kv_bytes(
+    token_bits: np.ndarray,
+    *,
+    n_layers: int,
+    n_kv_heads: int,
+    head_dim: int,
+) -> int:
+    """Analytic estimate of a context's KV-cache bytes from its plan.
+
+    Mirrors the Figure-4 conventions — bit-packed payload plus one FP16
+    scale/zero-point pair per ``(token, head, tensor, layer)`` group for the
+    quantized tokens — but for an *actual* request's per-token bitwidths and
+    the executed simulation model's geometry, so it can sit next to the
+    measured pool bytes of the same request.  What it cannot see, by
+    construction, is allocator reality: page-granularity fragmentation and
+    shared (per-channel / codebook) metadata.
+    """
+    token_bits = np.asarray(token_bits, dtype=np.int64)
+    elements_per_token = 2 * n_layers * n_kv_heads * head_dim
+    payload_bits = int(np.sum(token_bits * elements_per_token))
+    payload = -(-payload_bits // 8)  # bit-packed, rounded up once
+    n_quantized = int(np.sum(token_bits != int(BitWidth.FP16)))
+    metadata = (
+        n_quantized * 2 * n_layers * n_kv_heads * _METADATA_BYTES_PER_GROUP
+    )
     return payload + metadata
 
 

@@ -1,0 +1,43 @@
+"""Paged KV-cache pool: shared block allocator with packed quantized storage.
+
+The subsystem the serving engine stores every sequence's KV cache in:
+
+* :class:`~repro.kvpool.pool.BlockPool` — fixed-size pages, free-list
+  allocation, measured byte accounting, swap-out/swap-in.
+* :class:`~repro.kvpool.cache.PagedKVCache` / ``BlockTable`` — a sequence's
+  view onto the pool, drop-in for the dense ``ModelKVCache``.
+* :mod:`~repro.kvpool.codecs` — token-row codecs that store each
+  quantization method's *actual* packed codes + scales, bit-for-bit
+  equivalent to the fake-quant simulation path.
+"""
+
+from repro.kvpool.cache import BlockTable, PagedKVCache, PagedLayerView
+from repro.kvpool.codecs import (
+    NuqChannelNormCodec,
+    PerChannelCodec,
+    PerTokenCodec,
+    PerTokenGroupCodec,
+    TensorEncoding,
+    TokenRowCodec,
+    encode_fitted,
+    encode_per_token_groups,
+)
+from repro.kvpool.pool import Block, BlockPool, PackedRun, PoolExhausted
+
+__all__ = [
+    "Block",
+    "BlockPool",
+    "BlockTable",
+    "NuqChannelNormCodec",
+    "PackedRun",
+    "PagedKVCache",
+    "PagedLayerView",
+    "PerChannelCodec",
+    "PerTokenCodec",
+    "PerTokenGroupCodec",
+    "PoolExhausted",
+    "TensorEncoding",
+    "TokenRowCodec",
+    "encode_fitted",
+    "encode_per_token_groups",
+]

@@ -1,0 +1,430 @@
+"""Paged KV cache: a sequence's view onto the shared block pool.
+
+:class:`PagedKVCache` is a drop-in replacement for
+:class:`~repro.model.kv_cache.ModelKVCache` whose storage lives in a shared
+:class:`~repro.kvpool.pool.BlockPool` instead of private contiguous arrays.
+Each sequence holds a :class:`BlockTable` mapping logical token positions to
+pages; per-layer :class:`PagedLayerView` objects expose the same
+``append``/``keys``/``values`` surface the attention layer drives, so the
+transformer runs unmodified on either cache.
+
+After prefill, the serving backend packs the context region
+(:meth:`PagedKVCache.pack_context`): quantized token rows become bit-packed
+codes + scales inside their pages, FP16-marked rows and all generated
+tokens stay full precision — matching the paper, which never quantizes
+decode-phase tokens.  Gathering dequantizes per page and is bit-for-bit
+identical to the dense fake-quant cache (see :mod:`repro.kvpool.codecs`).
+
+Preemption uses the pool's swap interface: :meth:`swap_out` detaches every
+page to a host-side store (freeing pool capacity for other sequences) and
+:meth:`swap_in` restores them, so a preempted request resumes without any
+recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvpool.codecs import TensorEncoding
+from repro.kvpool.pool import Block, BlockPool, PoolExhausted, pack_block_runs
+from repro.quant.dtypes import BitWidth, bytes_for_elements
+
+
+class BlockTable:
+    """Maps a sequence's logical token positions to pool pages."""
+
+    def __init__(self, block_size: int):
+        self.block_size = block_size
+        self.block_ids: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    @staticmethod
+    def blocks_for_tokens(n_tokens: int, block_size: int) -> int:
+        """Pages needed to hold ``n_tokens`` rows."""
+        return -(-n_tokens // block_size)
+
+    def locate(self, position: int) -> tuple[int, int]:
+        """``(table index, row offset)`` of a logical token position."""
+        return position // self.block_size, position % self.block_size
+
+    def reserved_tokens(self) -> int:
+        """Token rows reserved by the mapped pages."""
+        return len(self.block_ids) * self.block_size
+
+
+class PagedLayerView:
+    """One layer's :class:`~repro.model.kv_cache.LayerKVCache`-shaped view."""
+
+    def __init__(self, cache: "PagedKVCache", layer_index: int):
+        self._cache = cache
+        self._layer = layer_index
+
+    @property
+    def n_kv_heads(self) -> int:
+        return self._cache.n_kv_heads
+
+    @property
+    def head_dim(self) -> int:
+        return self._cache.head_dim
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def length(self) -> int:
+        return self._cache.layer_length(self._layer)
+
+    @property
+    def k(self) -> np.ndarray:
+        """Valid K rows, gathered (and dequantized) from the pages."""
+        return self.keys()
+
+    @property
+    def v(self) -> np.ndarray:
+        """Valid V rows, gathered (and dequantized) from the pages."""
+        return self.values()
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append ``(n, n_kv_heads, head_dim)`` rows to this layer's pages."""
+        self._cache.append_layer(self._layer, k_new, v_new)
+
+    def keys(self) -> np.ndarray:
+        return self._cache.gather_layer(self._layer)[0]
+
+    def values(self) -> np.ndarray:
+        return self._cache.gather_layer(self._layer)[1]
+
+
+class PagedKVCache:
+    """KV cache of one sequence, stored as pages of a shared block pool."""
+
+    def __init__(self, pool: BlockPool, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.pool = pool
+        self.capacity = capacity
+        self.n_layers = pool.n_layers
+        self.n_kv_heads = pool.n_kv_heads
+        self.head_dim = pool.head_dim
+        self.table = BlockTable(pool.block_size)
+        self.layers = [PagedLayerView(self, i) for i in range(pool.n_layers)]
+        self.n_context = 0
+        self._layer_lengths = [0] * pool.n_layers
+        self._packed = False
+        self._shared_metadata_bytes = 0
+        self._swapped_blocks: list[Block] | None = None
+        self._released = False
+        #: Per-layer memo of the last gather: ``(length, version, (k, v))``.
+        #: ``keys()``/``values()`` are called back to back by attention on
+        #: every decode step; without the memo each step would materialise
+        #: and dequantize the full context twice per layer.
+        self._gather_memo: dict[int, tuple[int, int, tuple[np.ndarray, np.ndarray]]] = {}
+        self._content_version = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of cached tokens (the most-advanced layer during a pass)."""
+        return max(self._layer_lengths)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.table)
+
+    @property
+    def is_swapped(self) -> bool:
+        """Whether the pages currently live in the host-side swap store."""
+        return self._swapped_blocks is not None
+
+    def layer_length(self, layer_index: int) -> int:
+        return self._layer_lengths[layer_index]
+
+    def layer(self, index: int) -> PagedLayerView:
+        """Return the view of layer ``index``."""
+        return self.layers[index]
+
+    def has_capacity(self) -> bool:
+        """Whether one more decode token can be absorbed."""
+        if self._released or self.is_swapped or self.length >= self.capacity:
+            return False
+        return self.length < self.table.reserved_tokens() or self.pool.can_allocate(1)
+
+    def live_tokens(self) -> int:
+        """KV rows currently resident in the pool (0 while swapped out)."""
+        return 0 if self.is_swapped or self._released else self.length
+
+    # -- writes --------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._released:
+            raise RuntimeError("cache was released back to the pool")
+        if self.is_swapped:
+            raise RuntimeError("cache is swapped out; swap it in before use")
+
+    def append_layer(self, layer_index: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append rows to one layer, allocating pages on demand."""
+        self._check_writable()
+        k_new = np.asarray(k_new, dtype=np.float32)
+        v_new = np.asarray(v_new, dtype=np.float32)
+        if k_new.shape != v_new.shape:
+            raise ValueError(f"K/V shape mismatch: {k_new.shape} vs {v_new.shape}")
+        n = k_new.shape[0]
+        start = self._layer_lengths[layer_index]
+        if start + n > self.capacity:
+            raise ValueError(
+                f"cache overflow: length {start} + {n} exceeds capacity {self.capacity}"
+            )
+        needed = BlockTable.blocks_for_tokens(start + n, self.table.block_size)
+        while len(self.table.block_ids) < needed:
+            self.table.block_ids.append(self.pool.allocate())
+        written = 0
+        while written < n:
+            index, offset = self.table.locate(start + written)
+            take = min(n - written, self.table.block_size - offset)
+            block = self.pool.get(self.table.block_ids[index])
+            block.write(
+                layer_index,
+                offset,
+                k_new[written : written + take],
+                v_new[written : written + take],
+            )
+            written += take
+        self._layer_lengths[layer_index] = start + n
+
+    # -- reads ---------------------------------------------------------------
+
+    def gather_layer(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise one layer's valid rows as float32 ``(length, h, d)``.
+
+        The most recent gather per layer is memoized (invalidated by
+        appends, overwrites and packing); callers treat the returned arrays
+        as read-only views of the cache state.
+        """
+        if self._released:
+            raise RuntimeError("cache was released back to the pool")
+        if self.is_swapped:
+            raise RuntimeError("cache is swapped out; swap it in before use")
+        length = self._layer_lengths[layer_index]
+        memo = self._gather_memo.get(layer_index)
+        if memo is not None and memo[0] == length and memo[1] == self._content_version:
+            return memo[2]
+        k = np.empty((length, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        v = np.empty_like(k)
+        done = 0
+        for block_id in self.table.block_ids:
+            if done >= length:
+                break
+            take = min(self.table.block_size, length - done)
+            block_k, block_v = self.pool.get(block_id).gather(layer_index, take)
+            k[done : done + take] = block_k
+            v[done : done + take] = block_v
+            done += take
+        result = (k, v)
+        self._gather_memo[layer_index] = (length, self._content_version, result)
+        return result
+
+    # -- the ModelKVCache surface used by quantizers -------------------------
+
+    def mark_context(self, n_context: int) -> None:
+        """Record how many leading tokens belong to the (quantizable) context."""
+        if n_context < 0 or n_context > self.length:
+            raise ValueError(f"n_context must be in [0, {self.length}], got {n_context}")
+        self.n_context = n_context
+
+    def context_kv(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return copies of the context-region K and V of one layer."""
+        k, v = self.gather_layer(layer_index)
+        return k[: self.n_context].copy(), v[: self.n_context].copy()
+
+    def replace_context_kv(
+        self, layer_index: int, k_new: np.ndarray, v_new: np.ndarray
+    ) -> None:
+        """Overwrite the context rows of one layer (fake-quant fallback path).
+
+        Quantizers without a packed-storage encoder keep their ``apply``
+        semantics on the paged cache: the context pages simply hold the
+        fake-quantized floats at full precision.
+        """
+        self._check_writable()
+        if self._packed:
+            raise RuntimeError("context was packed; it can no longer be overwritten")
+        if k_new.shape[0] != self.n_context or v_new.shape[0] != self.n_context:
+            raise ValueError(f"expected {self.n_context} context rows, got {k_new.shape[0]}")
+        k_new = np.asarray(k_new, dtype=np.float32)
+        v_new = np.asarray(v_new, dtype=np.float32)
+        done = 0
+        for block_id in self.table.block_ids:
+            if done >= self.n_context:
+                break
+            take = min(self.table.block_size, self.n_context - done)
+            block = self.pool.get(block_id)
+            block.write(layer_index, 0, k_new[done : done + take], v_new[done : done + take])
+            done += take
+        self._content_version += 1
+
+    # -- packing -------------------------------------------------------------
+
+    def pack_context(
+        self, encodings: list[tuple[TensorEncoding, TensorEncoding]]
+    ) -> None:
+        """Convert the context region's pages to packed quantized storage.
+
+        ``encodings`` holds one ``(K, V)`` :class:`TensorEncoding` pair per
+        layer, covering exactly the ``n_context`` leading tokens.  Each page
+        overlapping the context packs its quantized rows per precision run;
+        FP16-marked rows stay as float rows inside the page.
+
+        Every encoding must carry the *same* ``token_bits`` (the plan's
+        per-token precision assignment): a page row's full-precision copy is
+        compacted for all layers and tensors at once, so a per-tensor
+        disagreement about which rows are quantized would silently zero
+        rows some tensor still reads as floats.
+        """
+        self._check_writable()
+        if self._packed:
+            raise RuntimeError("context is already packed")
+        if len(encodings) != self.n_layers:
+            raise ValueError(f"expected {self.n_layers} layer encodings, got {len(encodings)}")
+        reference_bits = encodings[0][0].token_bits if encodings else None
+        for k_enc, v_enc in encodings:
+            for enc in (k_enc, v_enc):
+                if enc.n_tokens != self.n_context:
+                    raise ValueError(
+                        f"encoding covers {enc.n_tokens} tokens; context has {self.n_context}"
+                    )
+                if not np.array_equal(enc.token_bits, reference_bits):
+                    raise ValueError(
+                        "all context encodings must share one per-token bit "
+                        "assignment (per-layer/per-tensor disagreement would "
+                        "compact rows another tensor still stores as floats)"
+                    )
+        bs = self.table.block_size
+        for index, block_id in enumerate(self.table.block_ids):
+            start = index * bs
+            if start >= self.n_context:
+                break
+            stop = min(start + bs, self.n_context)
+            rows = np.arange(stop - start, dtype=np.int64)
+            block = self.pool.get(block_id)
+            bytes_before = block.storage_bytes()
+            for layer_index, (k_enc, v_enc) in enumerate(encodings):
+                for tensor, enc in (("k", k_enc), ("v", v_enc)):
+                    if not enc.codecs:
+                        continue
+                    bits = enc.token_bits[start:stop]
+                    pack_block_runs(
+                        block,
+                        layer_index,
+                        tensor,
+                        rows,
+                        bits,
+                        enc.codes[start:stop],
+                        enc.meta[start:stop],
+                        enc.codecs,
+                    )
+            if reference_bits is not None:
+                quantized = rows[reference_bits[start:stop] != int(BitWidth.FP16)]
+            else:
+                quantized = rows[:0]
+            block.seal_quantized_rows(quantized, stop - start)
+            self.pool.note_block_repacked(block.storage_bytes() - bytes_before)
+        self._shared_metadata_bytes = sum(
+            enc.shared_bytes() for pair in encodings for enc in pair
+        )
+        self._packed = True
+        self._content_version += 1
+
+    # -- preemption: swap and release ----------------------------------------
+
+    def swap_out(self) -> None:
+        """Detach every page to the host-side store, freeing pool capacity."""
+        self._check_writable()
+        self._swapped_blocks = [
+            self.pool.swap_out(block_id) for block_id in self.table.block_ids
+        ]
+        self.table.block_ids = []
+
+    def swap_in(self) -> None:
+        """Restore the swapped pages into the pool (fresh page ids).
+
+        Capacity is checked up front so the restore is all-or-nothing: a
+        pool without room for every page raises before any page (or swap
+        counter) moves, leaving the cache swapped and retryable.
+        """
+        if self._released:
+            raise RuntimeError("cache was released back to the pool")
+        if not self.is_swapped:
+            raise RuntimeError("cache is not swapped out")
+        blocks = self._swapped_blocks
+        if not self.pool.can_allocate(len(blocks)):
+            raise PoolExhausted(
+                f"pool cannot hold the {len(blocks)} swapped pages of this sequence"
+            )
+        self.table.block_ids = [self.pool.swap_in(block) for block in blocks]
+        self._swapped_blocks = None
+
+    def release(self) -> None:
+        """Free every page (or drop the swap copy); idempotent."""
+        if self._released:
+            return
+        if self.is_swapped:
+            self._swapped_blocks = None
+        else:
+            for block_id in self.table.block_ids:
+                self.pool.free(block_id)
+        self.table.block_ids = []
+        self._released = True
+
+    # -- measured accounting -------------------------------------------------
+
+    def _row_fp16_bytes(self) -> int:
+        return bytes_for_elements(
+            2 * self.n_layers * self.n_kv_heads * self.head_dim, BitWidth.FP16
+        )
+
+    def measured_bytes(self) -> dict[str, int]:
+        """Walk this sequence's pages and report measured resident bytes.
+
+        Returns a breakdown under the device storage model:
+
+        ``context_bytes``
+            Packed payload + per-token metadata + FP16-kept context rows +
+            once-per-sequence shared metadata (per-channel scales, nuq
+            codebooks).
+        ``generated_bytes``
+            FP16-charged rows past the context — query/generated tokens plus
+            the reserved-but-unfilled tail of the last page (internal
+            fragmentation, which the analytic estimate cannot see).
+        ``context_fp16_bytes``
+            What the same context rows would cost entirely at FP16, for
+            compression ratios.  Row-granular like ``context_bytes`` (the
+            page-granularity overhead of the straddling last page sits in
+            ``generated_bytes`` for every method), so an unquantized cache
+            reports a ratio of exactly 1.0 against itself.
+        """
+        row_bytes = self._row_fp16_bytes()
+        bs = self.table.block_size
+        context_bytes = self._shared_metadata_bytes if self._packed else 0
+        generated_bytes = 0
+        blocks = (
+            self._swapped_blocks
+            if self.is_swapped
+            else [self.pool.get(bid) for bid in self.table.block_ids]
+        )
+        for index, block in enumerate(blocks):
+            start = index * bs
+            ctx_rows = min(max(self.n_context - start, 0), bs)
+            ctx_fp_rows = ctx_rows - block.n_quantized_rows
+            context_bytes += block.packed_bytes() + ctx_fp_rows * row_bytes
+            generated_bytes += (bs - ctx_rows) * row_bytes
+        return {
+            "context_bytes": context_bytes,
+            "generated_bytes": generated_bytes,
+            "total_bytes": context_bytes + generated_bytes,
+            "context_fp16_bytes": self.n_context * row_bytes,
+            "n_blocks": len(blocks),
+        }

@@ -1,0 +1,377 @@
+"""The shared paged block pool.
+
+A :class:`BlockPool` owns fixed-size pages ("blocks") of KV storage.  One
+block reserves ``block_size`` token rows across *all* layers of the model
+(``2 × n_layers × block_size × n_kv_heads × head_dim`` elements counting K
+and V), so a sequence needs a single block table regardless of depth.
+
+Blocks start in full-precision form (token rows are appended during prefill
+and decode).  When a request's context region is quantized, the covering
+blocks are *packed*: the quantized rows' ``uint8`` codes are bit-packed per
+page with :func:`repro.quant.packing.pack_codes` and the full-precision
+copies are zeroed out, so the pool's byte accounting reflects what a real
+device allocation would hold.  Bytes follow the repo-wide device model: FP16
+rows are charged 2 bytes per element (the NumPy substrate computes in
+float32), packed payloads are charged their actual buffer size, and
+scale/zero-point metadata is charged at FP16 per value.
+
+Accounting is *page-granular* for full-precision storage: an allocated
+block charges all ``block_size`` rows it reserves even when only some are
+filled.  That internal fragmentation is exactly what the analytic memory
+model cannot see and what the measured tables surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kvpool.codecs import META_VALUE_BYTES, TokenRowCodec
+from repro.quant.dtypes import BitWidth, bytes_for_elements
+from repro.quant.packing import pack_codes, unpack_codes
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.hardware.gpu import GPUSpec
+
+
+class PoolExhausted(RuntimeError):
+    """Raised when the pool has no free block to satisfy an allocation."""
+
+
+@dataclass
+class PackedRun:
+    """A same-precision run of packed token rows inside one block.
+
+    Attributes
+    ----------
+    bits:
+        Storage precision of the run.
+    rows:
+        Row offsets within the block, in encoding order.
+    packed_codes:
+        Bit-packed ``uint8`` payload (:func:`repro.quant.packing.pack_codes`
+        of the run's flattened code rows).
+    code_width:
+        Codes per token row (needed to unpack).
+    meta:
+        ``(n_rows, meta_width)`` float32 per-token metadata rows.
+    codec:
+        Decoder turning unpacked code rows + metadata back into floats.
+    """
+
+    bits: BitWidth
+    rows: np.ndarray
+    packed_codes: np.ndarray
+    code_width: int
+    meta: np.ndarray
+    codec: TokenRowCodec
+
+    def __post_init__(self) -> None:
+        self._decoded: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rows.size)
+
+    def decode(self) -> np.ndarray:
+        """Dequantized ``(n_rows, h, d)`` float rows (cached; runs are immutable)."""
+        if self._decoded is None:
+            n_codes = self.n_rows * self.code_width
+            codes = unpack_codes(self.packed_codes, self.bits, n_codes)
+            self._decoded = self.codec.decode(
+                codes.reshape(self.n_rows, self.code_width), self.meta
+            )
+        return self._decoded
+
+    def storage_bytes(self) -> int:
+        """Packed payload plus per-token metadata bytes."""
+        return int(self.packed_codes.nbytes) + self.meta.size * META_VALUE_BYTES
+
+
+class Block:
+    """One fixed-size page: ``block_size`` token rows across all layers."""
+
+    def __init__(self, n_layers: int, block_size: int, n_kv_heads: int, head_dim: int):
+        self.n_layers = n_layers
+        self.block_size = block_size
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        shape = (n_layers, block_size, n_kv_heads, head_dim)
+        self.fp_k = np.zeros(shape, dtype=np.float32)
+        self.fp_v = np.zeros(shape, dtype=np.float32)
+        #: Packed runs per layer for K and V (empty until the block is packed).
+        self.packed_k: list[list[PackedRun]] = [[] for _ in range(n_layers)]
+        self.packed_v: list[list[PackedRun]] = [[] for _ in range(n_layers)]
+        #: Number of rows whose full-precision storage was compacted away.
+        self.n_quantized_rows: int = 0
+        #: Context rows of this block covered by packing (write guard): rows
+        #: below this offset are frozen, even the FP16 ones kept as floats.
+        self.packed_upto: int = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def write(self, layer: int, start_row: int, k_rows: np.ndarray, v_rows: np.ndarray) -> None:
+        """Write full-precision rows ``[start_row, start_row + n)`` of one layer."""
+        n = k_rows.shape[0]
+        end = start_row + n
+        if end > self.block_size:
+            raise ValueError(f"write of rows [{start_row}, {end}) exceeds the page")
+        if start_row < self.packed_upto:
+            raise ValueError("cannot overwrite rows that were packed")
+        self.fp_k[layer, start_row:end] = k_rows
+        self.fp_v[layer, start_row:end] = v_rows
+
+    def add_packed_run(self, layer: int, tensor: str, run: PackedRun) -> None:
+        """Attach a packed run to one layer's K or V storage."""
+        (self.packed_k if tensor == "k" else self.packed_v)[layer].append(run)
+
+    def seal_quantized_rows(self, rows: np.ndarray, packed_upto: int) -> None:
+        """Zero the full-precision copies of rows now held as packed runs.
+
+        Called once per block after packing; gathers must come from the
+        packed codes from then on, so a decode bug cannot silently fall back
+        to the original floats.  ``packed_upto`` freezes the block's context
+        rows against later writes.
+        """
+        if rows.size:
+            self.fp_k[:, rows] = 0.0
+            self.fp_v[:, rows] = 0.0
+        self.n_quantized_rows += int(rows.size)
+        self.packed_upto = max(self.packed_upto, packed_upto)
+
+    # -- reads ---------------------------------------------------------------
+
+    def gather(self, layer: int, n_rows: int) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise rows ``[0, n_rows)`` of one layer as float32 K and V."""
+        k = self.fp_k[layer, :n_rows].copy()
+        v = self.fp_v[layer, :n_rows].copy()
+        for runs, out in ((self.packed_k[layer], k), (self.packed_v[layer], v)):
+            for run in runs:
+                out[run.rows] = run.decode()
+        return k, v
+
+    # -- accounting ----------------------------------------------------------
+
+    def fp_row_bytes(self) -> int:
+        """Accounted bytes of one full-precision token row (K + V, all layers)."""
+        return bytes_for_elements(
+            2 * self.n_layers * self.n_kv_heads * self.head_dim, BitWidth.FP16
+        )
+
+    def packed_bytes(self) -> int:
+        """Bytes of all packed runs held by this block."""
+        return sum(
+            run.storage_bytes()
+            for runs in (*self.packed_k, *self.packed_v)
+            for run in runs
+        )
+
+    def storage_bytes(self) -> int:
+        """Resident bytes of the page under the device storage model.
+
+        Full-precision storage is charged at page granularity — every
+        reserved row that was not compacted by packing counts, filled or
+        not — plus the packed payload/metadata.
+        """
+        fp_rows = self.block_size - self.n_quantized_rows
+        return fp_rows * self.fp_row_bytes() + self.packed_bytes()
+
+
+class BlockPool:
+    """Free-list allocator over fixed-size KV pages with byte accounting.
+
+    Parameters
+    ----------
+    n_layers, n_kv_heads, head_dim:
+        Geometry every page is sized for (must match the model).
+    block_size:
+        Token rows per page.
+    capacity_blocks:
+        Maximum number of simultaneously allocated pages; ``None`` means
+        unbounded (the pool grows on demand).
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        *,
+        block_size: int = 16,
+        capacity_blocks: int | None = None,
+    ):
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if capacity_blocks is not None and capacity_blocks < 1:
+            raise ValueError(f"capacity_blocks must be >= 1, got {capacity_blocks}")
+        self.n_layers = n_layers
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self._blocks: dict[int, Block] = {}
+        self._next_id = 0
+        self._resident_bytes = 0
+        self.n_swap_outs = 0
+        self.n_swap_ins = 0
+        self.peak_allocated_blocks = 0
+        self.peak_bytes = 0
+
+    @classmethod
+    def for_gpu(
+        cls,
+        gpu: "GPUSpec",
+        *,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        block_size: int = 16,
+        memory_fraction: float = 0.9,
+    ) -> "BlockPool":
+        """Size a pool from a :class:`~repro.hardware.gpu.GPUSpec`.
+
+        ``memory_fraction`` of the device's HBM is granted to the KV pool
+        and divided by the full-precision page size; a device too small for
+        even one page is rejected.
+        """
+        if not 0.0 < memory_fraction <= 1.0:
+            raise ValueError(f"memory_fraction must be in (0, 1], got {memory_fraction}")
+        page_bytes = block_size * bytes_for_elements(
+            2 * n_layers * n_kv_heads * head_dim, BitWidth.FP16
+        )
+        capacity = int(gpu.memory_bytes * memory_fraction) // page_bytes
+        if capacity < 1:
+            raise ValueError(
+                f"{gpu.name} cannot hold a single {page_bytes}-byte KV page"
+            )
+        return cls(
+            n_layers,
+            n_kv_heads,
+            head_dim,
+            block_size=block_size,
+            capacity_blocks=capacity,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_allocated(self) -> int:
+        """Number of currently allocated pages."""
+        return len(self._blocks)
+
+    @property
+    def n_free_blocks(self) -> int | None:
+        """Free pages remaining, or ``None`` for an unbounded pool."""
+        if self.capacity_blocks is None:
+            return None
+        return self.capacity_blocks - len(self._blocks)
+
+    def can_allocate(self, n_blocks: int) -> bool:
+        """Whether ``n_blocks`` more pages fit right now."""
+        free = self.n_free_blocks
+        return free is None or n_blocks <= free
+
+    def get(self, block_id: int) -> Block:
+        """The allocated page behind ``block_id``."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ValueError(f"block {block_id} is not allocated") from None
+
+    def allocated_bytes(self) -> int:
+        """Measured resident bytes of every allocated page.
+
+        Maintained incrementally (allocation, free, swap and repacking all
+        adjust a running counter), so the query — and the peak tracking on
+        every allocation — is O(1) instead of a walk over the pool.
+        """
+        return self._resident_bytes
+
+    def note_block_repacked(self, byte_delta: int) -> None:
+        """Adjust the resident-byte counter after a page's storage changed
+        in place (packing compacts full-precision rows into coded runs)."""
+        self._resident_bytes += byte_delta
+
+    def reserved_tokens(self) -> int:
+        """Token rows reserved by all allocated pages."""
+        return len(self._blocks) * self.block_size
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Allocate one page; raises :class:`PoolExhausted` when full."""
+        if not self.can_allocate(1):
+            raise PoolExhausted(
+                f"pool is full ({self.capacity_blocks} blocks of {self.block_size} tokens)"
+            )
+        block = Block(self.n_layers, self.block_size, self.n_kv_heads, self.head_dim)
+        return self._attach(block)
+
+    def free(self, block_id: int) -> None:
+        """Return a page to the pool; freeing twice (or an unknown id) raises."""
+        if block_id not in self._blocks:
+            raise ValueError(f"block {block_id} is not allocated (double free?)")
+        self._resident_bytes -= self._blocks[block_id].storage_bytes()
+        del self._blocks[block_id]
+
+    def _attach(self, block: Block) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = block
+        self._resident_bytes += block.storage_bytes()
+        self.peak_allocated_blocks = max(self.peak_allocated_blocks, len(self._blocks))
+        self.peak_bytes = max(self.peak_bytes, self._resident_bytes)
+        return block_id
+
+    # -- swap ----------------------------------------------------------------
+
+    def swap_out(self, block_id: int) -> Block:
+        """Detach a page to host memory, freeing its pool slot."""
+        block = self.get(block_id)
+        self.free(block_id)
+        self.n_swap_outs += 1
+        return block
+
+    def swap_in(self, block: Block) -> int:
+        """Re-attach a host-side page under a fresh id."""
+        if block.block_size != self.block_size or block.n_layers != self.n_layers:
+            raise ValueError("swapped block geometry does not match this pool")
+        if not self.can_allocate(1):
+            raise PoolExhausted("pool is full; cannot swap the block back in")
+        self.n_swap_ins += 1
+        return self._attach(block)
+
+
+def pack_block_runs(
+    block: Block,
+    layer: int,
+    tensor: str,
+    rows: np.ndarray,
+    token_bits: np.ndarray,
+    codes: np.ndarray,
+    meta: np.ndarray,
+    codecs: dict[int, TokenRowCodec],
+) -> None:
+    """Build the packed runs of one block/layer/tensor from encoding rows.
+
+    ``rows`` are offsets within the block; ``token_bits``/``codes``/``meta``
+    are the corresponding rows sliced out of a
+    :class:`~repro.kvpool.codecs.TensorEncoding`.
+    """
+    for bits in sorted(set(token_bits.tolist())):
+        if bits == int(BitWidth.FP16):
+            continue
+        mask = token_bits == bits
+        codec = codecs[bits]
+        run_codes = codes[mask]
+        run = PackedRun(
+            bits=BitWidth.from_bits(bits),
+            rows=rows[mask],
+            packed_codes=pack_codes(run_codes.reshape(-1), bits),
+            code_width=codec.code_width,
+            meta=meta[mask].copy(),
+            codec=codec,
+        )
+        block.add_packed_run(layer, tensor, run)

@@ -2,7 +2,11 @@
 
 Supports grouped-query attention (GQA), causal masking, RoPE or table
 positional encodings, prefill over a block of tokens and single-token decode
-against a :class:`~repro.model.kv_cache.LayerKVCache`.
+against a layer cache.  The cache argument is duck-typed: anything exposing
+``append``/``keys``/``values`` works, which is how the same attention code
+drives both the dense :class:`~repro.model.kv_cache.LayerKVCache` and the
+pool-backed :class:`~repro.kvpool.cache.PagedLayerView` (whose ``keys``
+gathers and dequantizes packed context pages on the fly).
 """
 
 from __future__ import annotations

@@ -100,6 +100,21 @@ class DecodeSession:
         """Number of tokens emitted so far."""
         return len(self.generated)
 
+    @property
+    def max_new_tokens(self) -> int:
+        """The session's decode budget."""
+        return self._max_new_tokens
+
+    @property
+    def remaining_budget(self) -> int:
+        """Decode-budget tokens left before the session must stop.
+
+        The scheduler's preemption policy consults this: a sequence one
+        token (or less) from finishing is never worth preempting — sparing
+        it both avoids wasted recompute and breaks preempt-thrash loops.
+        """
+        return self._max_new_tokens - len(self.generated)
+
     def advance(self) -> int | None:
         """Execute one decode step.
 

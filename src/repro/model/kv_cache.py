@@ -17,8 +17,12 @@ import numpy as np
 class LayerKVCache:
     """KV cache of a single transformer layer.
 
-    K and V are ``(capacity, n_kv_heads, head_dim)`` float32 arrays of which
-    the first :attr:`length` rows are valid.
+    K and V are float32 arrays of which the first :attr:`length` rows are
+    valid.  Storage is allocated lazily with geometric growth up to
+    :attr:`capacity`: a freshly created (or cloned) cache only holds its
+    valid region, so the per-preemption recompute path and the evaluation
+    harness's clones no longer pay for zero-initialising ``capacity`` rows
+    they never touch.
     """
 
     n_kv_heads: int
@@ -31,8 +35,21 @@ class LayerKVCache:
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {self.capacity}")
-        self.k = np.zeros((self.capacity, self.n_kv_heads, self.head_dim), dtype=np.float32)
-        self.v = np.zeros((self.capacity, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        self.k = np.zeros((0, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        self.v = np.zeros((0, self.n_kv_heads, self.head_dim), dtype=np.float32)
+
+    def _grow_to(self, n_rows: int) -> None:
+        """Ensure at least ``n_rows`` rows are allocated (amortised doubling)."""
+        allocated = self.k.shape[0]
+        if allocated >= n_rows:
+            return
+        new_rows = min(self.capacity, max(n_rows, 2 * allocated))
+        k = np.zeros((new_rows, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        v = np.zeros_like(k)
+        k[: self.length] = self.k[: self.length]
+        v[: self.length] = self.v[: self.length]
+        self.k = k
+        self.v = v
 
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
         """Append ``(n, n_kv_heads, head_dim)`` K/V rows to the cache."""
@@ -45,6 +62,7 @@ class LayerKVCache:
             raise ValueError(
                 f"cache overflow: length {self.length} + {n} exceeds capacity {self.capacity}"
             )
+        self._grow_to(self.length + n)
         self.k[self.length : self.length + n] = k_new
         self.v[self.length : self.length + n] = v_new
         self.length += n
@@ -66,10 +84,10 @@ class LayerKVCache:
         self.v[:n] = np.asarray(v_new, dtype=np.float32)
 
     def clone(self) -> "LayerKVCache":
-        """Deep copy of this layer cache."""
+        """Deep copy of this layer cache (allocates only the valid region)."""
         copy = LayerKVCache(self.n_kv_heads, self.head_dim, self.capacity)
-        copy.k[: self.length] = self.k[: self.length]
-        copy.v[: self.length] = self.v[: self.length]
+        copy.k = self.k[: self.length].copy()
+        copy.v = self.v[: self.length].copy()
         copy.length = self.length
         return copy
 
@@ -99,6 +117,14 @@ class ModelKVCache:
     def layer(self, index: int) -> LayerKVCache:
         """Return the cache of layer ``index``."""
         return self.layers[index]
+
+    def has_capacity(self) -> bool:
+        """Whether one more decode token can be absorbed."""
+        return self.length < self.capacity
+
+    def live_tokens(self) -> int:
+        """KV rows currently held (same duck surface as the paged cache)."""
+        return self.length
 
     def mark_context(self, n_context: int) -> None:
         """Record how many leading tokens belong to the (quantizable) context."""

@@ -7,6 +7,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.kvpool.cache import PagedKVCache
 from repro.model.config import ModelConfig
 from repro.model.decode import DecodeSession, check_max_new_tokens
 from repro.model.kv_cache import ModelKVCache
@@ -59,13 +60,28 @@ class Transformer:
 
     # -- infrastructure ----------------------------------------------------
 
-    def new_cache(self, capacity: int | None = None) -> ModelKVCache:
-        """Allocate an empty KV cache sized for ``capacity`` tokens."""
+    def new_cache(self, capacity: int | None = None, *, pool=None) -> ModelKVCache:
+        """Allocate an empty KV cache sized for ``capacity`` tokens.
+
+        With ``pool`` (a :class:`repro.kvpool.BlockPool`) the cache is a
+        :class:`~repro.kvpool.cache.PagedKVCache` drawing pages from the
+        shared pool; the transformer drives either representation through
+        the same layer-cache surface.
+        """
+        capacity = capacity or self.config.max_seq_len
+        if pool is not None:
+            if (
+                pool.n_layers != self.config.n_layers
+                or pool.n_kv_heads != self.config.n_kv_heads
+                or pool.head_dim != self.config.head_dim
+            ):
+                raise ValueError("block pool geometry does not match the model config")
+            return PagedKVCache(pool, capacity)
         return ModelKVCache(
             n_layers=self.config.n_layers,
             n_kv_heads=self.config.n_kv_heads,
             head_dim=self.config.head_dim,
-            capacity=capacity or self.config.max_seq_len,
+            capacity=capacity,
         )
 
     def embed(self, token_ids: Sequence[int], positions: np.ndarray) -> np.ndarray:
@@ -224,5 +240,5 @@ class Transformer:
             max_new_tokens=max_new_tokens,
             stop_ids=stop_ids,
             sampler=sampler,
-            has_capacity=lambda: cache.length < cache.capacity,
+            has_capacity=cache.has_capacity,
         )

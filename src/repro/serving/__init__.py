@@ -8,9 +8,12 @@
   method names) built on the shared
   :class:`~repro.model.decode.DecodeSession` step abstraction.
 * :mod:`repro.serving.scheduler` — FIFO admission, per-step round-robin
-  decode over in-flight sequences and capacity-aware recompute preemption.
+  decode over in-flight sequences and capacity-aware preemption (swap-based
+  by default, recompute as fallback).
 * :mod:`repro.serving.engine` — :class:`InferenceEngine` with ``submit()`` /
-  ``step()`` / ``stream()`` / ``run()`` / ``run_batch()``.
+  ``step()`` / ``stream()`` / ``run()`` / ``run_batch()``, serving every
+  request out of a shared paged :class:`~repro.kvpool.BlockPool` with
+  actually-packed quantized context storage.
 """
 
 from repro.serving.backends import (

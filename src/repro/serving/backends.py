@@ -32,10 +32,12 @@ from repro.baselines.base import (
 from repro.baselines.registry import BASELINE_NAMES, get_baseline
 from repro.core.cache import ChunkedLayerCache
 from repro.core.computation import chunk_level_decode_attention
+from repro.kvpool.cache import PagedKVCache
 from repro.model.decode import DecodeSession
 from repro.model.kv_cache import LayerKVCache, ModelKVCache
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
+from repro.quant.dtypes import BitWidth, bytes_for_elements
 from repro.retrieval.chunking import chunk_words
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -76,6 +78,25 @@ def prompt_token_ids(
     return tokenizer.encode(prompt_words)
 
 
+def _release_cache(cache) -> None:
+    """Return a cache's pool pages, if it has any (no-op for dense caches)."""
+    release = getattr(cache, "release", None)
+    if release is not None:
+        release()
+
+
+def _paged_hooks(cache) -> dict:
+    """Swap/release/accounting hooks of a pool-backed cache (else empty)."""
+    if isinstance(cache, PagedKVCache):
+        return {
+            "swap_out": cache.swap_out,
+            "swap_in": cache.swap_in,
+            "release": cache.release,
+            "kv_bytes": cache.measured_bytes,
+        }
+    return {}
+
+
 @dataclass
 class PreparedSequence:
     """A request after prefill, ready for step-at-a-time decoding.
@@ -95,6 +116,19 @@ class PreparedSequence:
     details:
         Backend-specific extras surfaced on the result (e.g. the blockwise
         backend's chunked caches).
+    swap_out, swap_in:
+        Optional preemption hooks of pool-backed sequences: ``swap_out``
+        evicts every page to a host-side store (freeing pool capacity) and
+        ``swap_in`` restores them, so the decode session resumes without
+        recompute.  Backends that cannot swap leave them ``None`` and the
+        engine falls back to recompute preemption.
+    release:
+        Optional cleanup freeing pool pages when the sequence finishes or
+        is preempted for recompute.
+    kv_bytes:
+        Optional measured-memory probe; returns the sequence's current
+        resident KV bytes breakdown (see
+        :meth:`repro.kvpool.cache.PagedKVCache.measured_bytes`).
     """
 
     session: DecodeSession
@@ -103,6 +137,15 @@ class PreparedSequence:
     n_context_tokens: int
     live_tokens: Callable[[], int]
     details: dict = field(default_factory=dict, repr=False)
+    swap_out: Callable[[], None] | None = None
+    swap_in: Callable[[], None] | None = None
+    release: Callable[[], None] | None = None
+    kv_bytes: Callable[[], dict] | None = None
+
+    @property
+    def supports_swap(self) -> bool:
+        """Whether this sequence can be preempted by swapping its pages out."""
+        return self.swap_out is not None and self.swap_in is not None
 
 
 class DecodeBackend(abc.ABC):
@@ -131,13 +174,25 @@ class DecodeBackend(abc.ABC):
     def _prefill(
         self, request: "GenerationRequest"
     ) -> tuple[ModelKVCache, np.ndarray, list[int]]:
-        """Full-precision prefill of the request prompt."""
+        """Full-precision prefill of the request prompt.
+
+        The cache comes from the engine: a pool-backed
+        :class:`~repro.kvpool.cache.PagedKVCache` by default, or the dense
+        reference cache when the engine was built with ``kv_cache="dense"``.
+        If prefill dies half-way (e.g. the pool runs out of pages), the
+        partially written pages are returned to the pool before the error
+        propagates.
+        """
         prompt = prompt_token_ids(
             self.tokenizer, request.context_words, request.query_words
         )
-        cache = self.model.new_cache()
-        first_logits = self.model.prefill(prompt, cache)
-        cache.mark_context(len(request.context_words))
+        cache = self.engine.new_kv_cache()
+        try:
+            first_logits = self.model.prefill(prompt, cache)
+            cache.mark_context(len(request.context_words))
+        except Exception:
+            _release_cache(cache)
+            raise
         return cache, first_logits, prompt
 
     @abc.abstractmethod
@@ -166,14 +221,27 @@ class QuantizedDenseBackend(DecodeBackend):
 
     def prepare(self, request: "GenerationRequest") -> PreparedSequence:
         cache, first_logits, prompt = self._prefill(request)
-        qrequest = build_quantization_request(
-            request.context_words,
-            request.query_words,
-            self.engine.chunk_size,
-            cache,
-        )
-        plan = self.quantizer.plan(qrequest)
-        self.quantizer.apply(cache, plan)
+        try:
+            qrequest = build_quantization_request(
+                request.context_words,
+                request.query_words,
+                self.engine.chunk_size,
+                cache,
+            )
+            plan = self.quantizer.plan(qrequest)
+            if isinstance(cache, PagedKVCache):
+                encodings = self.quantizer.encode_context(cache, plan)
+                if encodings is None:
+                    # No packed-storage encoder: keep the fake-quant floats
+                    # in full-precision pages (correct, just not compact).
+                    self.quantizer.apply(cache, plan)
+                else:
+                    cache.pack_context(encodings)
+            else:
+                self.quantizer.apply(cache, plan)
+        except Exception:
+            _release_cache(cache)
+            raise
         session = self.model.decode_session(
             cache,
             first_logits,
@@ -186,7 +254,8 @@ class QuantizedDenseBackend(DecodeBackend):
             plan=plan,
             n_prompt_tokens=len(prompt),
             n_context_tokens=len(request.context_words),
-            live_tokens=lambda: cache.length,
+            live_tokens=cache.live_tokens,
+            **_paged_hooks(cache),
         )
 
 
@@ -195,7 +264,11 @@ class _BlockwiseDecodeState:
 
     The quantized context lives in per-layer :class:`ChunkedLayerCache`
     segments; query and generated tokens accumulate in small FP16 decode
-    caches.  Each step runs chunk-level decode attention per layer.
+    caches.  On a pool-backed engine those decode caches are pages of the
+    shared :class:`~repro.kvpool.BlockPool` (one paged cache whose layer
+    views stand in for the dense ``LayerKVCache`` objects), so even the
+    blockwise path's growing state is a pool-accounted resource.  Each step
+    runs chunk-level decode attention per layer.
     """
 
     def __init__(
@@ -210,24 +283,60 @@ class _BlockwiseDecodeState:
         n_context = cache.n_context
         # The non-quantized region (query tokens) seeds the FP16 decode caches.
         decode_capacity = cache.capacity - n_context
-        self.decode_caches: list[LayerKVCache] = []
-        for layer in cache.layers:
-            decode_cache = LayerKVCache(
-                config.n_kv_heads, config.head_dim, decode_capacity
-            )
-            decode_cache.append(
-                layer.k[n_context : layer.length].copy(),
-                layer.v[n_context : layer.length].copy(),
-            )
-            self.decode_caches.append(decode_cache)
+        self.paged_decode_cache: PagedKVCache | None = None
+        if isinstance(cache, PagedKVCache):
+            self.paged_decode_cache = PagedKVCache(cache.pool, decode_capacity)
+            self.decode_caches = list(self.paged_decode_cache.layers)
+        else:
+            self.decode_caches = [
+                LayerKVCache(config.n_kv_heads, config.head_dim, decode_capacity)
+                for _ in cache.layers
+            ]
+        try:
+            for layer, decode_cache in zip(cache.layers, self.decode_caches):
+                decode_cache.append(
+                    layer.k[n_context : layer.length].copy(),
+                    layer.v[n_context : layer.length].copy(),
+                )
+        except Exception:
+            if self.paged_decode_cache is not None:
+                self.paged_decode_cache.release()
+            raise
         self.position = cache.length
         self.capacity = cache.capacity
 
     def has_capacity(self) -> bool:
-        return self.position < self.capacity
+        if self.position >= self.capacity:
+            return False
+        if self.paged_decode_cache is not None:
+            return self.paged_decode_cache.has_capacity()
+        return True
 
     def live_tokens(self) -> int:
         return self.position
+
+    def kv_bytes(self) -> dict:
+        """Measured bytes: chunked context segments + decode-cache pages."""
+        context_bytes = sum(c.storage_bytes() for c in self.chunked_caches)
+        context_fp16 = sum(c.fp16_storage_bytes() for c in self.chunked_caches)
+        if self.paged_decode_cache is not None:
+            decode = self.paged_decode_cache.measured_bytes()
+            generated_bytes = decode["total_bytes"]
+            n_blocks = decode["n_blocks"]
+        else:
+            n_rows = self.decode_caches[0].length if self.decode_caches else 0
+            generated_bytes = n_rows * sum(
+                bytes_for_elements(2 * c.n_kv_heads * c.head_dim, BitWidth.FP16)
+                for c in self.chunked_caches
+            )
+            n_blocks = 0
+        return {
+            "context_bytes": context_bytes,
+            "generated_bytes": generated_bytes,
+            "total_bytes": context_bytes + generated_bytes,
+            "context_fp16_bytes": context_fp16,
+            "n_blocks": n_blocks,
+        }
 
     def step(self, token_id: int) -> np.ndarray:
         """One decode step with chunk-level KV cache computation per layer."""
@@ -264,15 +373,20 @@ class BlockwiseBackend(DecodeBackend):
     def prepare(self, request: "GenerationRequest") -> PreparedSequence:
         engine = self.engine
         cache, first_logits, prompt = self._prefill(request)
-        qrequest = build_quantization_request(
-            request.context_words,
-            request.query_words,
-            engine.chunk_size,
-            cache,
-        )
-        plan = engine.quantizer.plan(qrequest)
-        chunked_caches = engine.quantizer.build_chunked_caches(cache, plan)
-        state = _BlockwiseDecodeState(self.model, cache, chunked_caches)
+        try:
+            qrequest = build_quantization_request(
+                request.context_words,
+                request.query_words,
+                engine.chunk_size,
+                cache,
+            )
+            plan = engine.quantizer.plan(qrequest)
+            chunked_caches = engine.quantizer.build_chunked_caches(cache, plan)
+            state = _BlockwiseDecodeState(self.model, cache, chunked_caches)
+        finally:
+            # The chunked context + decode caches carry everything decode
+            # needs; the prefill pages go back to the pool immediately.
+            _release_cache(cache)
         session = DecodeSession(
             state.step,
             first_logits,
@@ -288,6 +402,7 @@ class BlockwiseBackend(DecodeBackend):
             n_context_tokens=len(request.context_words),
             live_tokens=state.live_tokens,
             details={"chunked_caches": chunked_caches},
+            **{**_paged_hooks(state.paged_decode_cache), "kv_bytes": state.kv_bytes},
         )
 
 

@@ -30,6 +30,8 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.core.config import CocktailConfig
 from repro.core.quantizer import CocktailQuantizer
 from repro.baselines.base import KVCacheQuantizer
+from repro.hardware.gpu import GPUSpec
+from repro.kvpool.pool import BlockPool, PoolExhausted
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
 from repro.retrieval.base import Encoder
@@ -66,8 +68,31 @@ class InferenceEngine:
         Maximum number of concurrently decoding sequences.
     max_live_tokens:
         Optional cap on the summed KV footprint of running sequences;
-        exceeding it triggers recompute preemption (see
+        exceeding it triggers preemption (see
         :mod:`repro.serving.scheduler`).
+    kv_cache:
+        ``"paged"`` (default) stores every sequence's KV cache as pages of
+        a shared :class:`~repro.kvpool.BlockPool` with actually-packed
+        quantized context storage; ``"dense"`` keeps the reference
+        per-sequence :class:`~repro.model.kv_cache.ModelKVCache` (the two
+        produce bit-identical outputs — the dense cache exists so that
+        equivalence can be asserted).
+    pool:
+        Optional pre-built block pool (paged mode only); by default an
+        unbounded pool matching the model geometry is created.
+    gpu:
+        Optional :class:`~repro.hardware.gpu.GPUSpec` gating pool capacity:
+        the pool is sized to the fraction of the device's HBM a real
+        serving deployment would grant the KV cache.
+    block_size:
+        Tokens per pool page (paged mode only).
+    max_live_blocks:
+        Optional cap on simultaneously allocated pool pages.
+    preemption:
+        ``"swap"`` (default) evicts a victim's pages to a host-side store
+        and restores them on re-admission — no recompute; ``"recompute"``
+        always drops the prepared state and replays from scratch.  Backends
+        without swap support fall back to recompute either way.
     clock:
         Monotonic time source for the per-request stats (test hook).
     """
@@ -84,22 +109,64 @@ class InferenceEngine:
         seed: int = 0,
         max_running: int = 8,
         max_live_tokens: int | None = None,
+        kv_cache: str = "paged",
+        pool: BlockPool | None = None,
+        gpu: GPUSpec | None = None,
+        block_size: int = 16,
+        max_live_blocks: int | None = None,
+        preemption: str = "swap",
         clock: Callable[[], float] = time.perf_counter,
     ):
+        if kv_cache not in ("paged", "dense"):
+            raise ValueError(f"kv_cache must be 'paged' or 'dense', got {kv_cache!r}")
+        if preemption not in ("swap", "recompute"):
+            raise ValueError(
+                f"preemption must be 'swap' or 'recompute', got {preemption!r}"
+            )
         self.model = model
         self.tokenizer = tokenizer
         self.config = config or CocktailConfig()
         self.quantizer = quantizer or CocktailQuantizer(
             self.config, encoder, lexicon=lexicon, seed=seed
         )
+        self.kv_cache_kind = kv_cache
+        self.preemption = preemption
+        self.pool: BlockPool | None = None
+        if kv_cache == "paged":
+            if pool is not None:
+                self.pool = pool
+            elif gpu is not None:
+                self.pool = BlockPool.for_gpu(
+                    gpu,
+                    n_layers=model.config.n_layers,
+                    n_kv_heads=model.config.n_kv_heads,
+                    head_dim=model.config.head_dim,
+                    block_size=block_size,
+                )
+            else:
+                self.pool = BlockPool(
+                    model.config.n_layers,
+                    model.config.n_kv_heads,
+                    model.config.head_dim,
+                    block_size=block_size,
+                )
+        elif pool is not None or gpu is not None or max_live_blocks is not None:
+            raise ValueError("pool/gpu/max_live_blocks require kv_cache='paged'")
         self.scheduler = ContinuousBatchingScheduler(
-            max_running=max_running, max_live_tokens=max_live_tokens
+            max_running=max_running,
+            max_live_tokens=max_live_tokens,
+            pool=self.pool,
+            max_live_blocks=max_live_blocks,
         )
         self._clock = clock
         self._backends: dict[str, DecodeBackend] = {}
         self._states: dict[str, SequenceState] = {}
         self._results: dict[str, GenerationResult] = {}
         self._counter = 0
+
+    def new_kv_cache(self):
+        """A fresh per-sequence KV cache on the engine's storage backend."""
+        return self.model.new_cache(pool=self.pool)
 
     # -- backends ------------------------------------------------------------
 
@@ -211,25 +278,57 @@ class InferenceEngine:
         round-robin order.
         """
         while (state := self.scheduler.next_to_admit()) is not None:
-            self._admit(state)
+            if not self._admit(state):
+                break
+        # Rebalance before decoding too: every running sequence may allocate
+        # one page this round, and a sequence that observes a transiently
+        # full pool mid-round would terminate "cache_full" instead of being
+        # preempted.  With the pre-round watermark (>= one free page per
+        # running sequence) that cannot happen except for a lone survivor,
+        # for which a full pool genuinely is cache-full.
+        self._rebalance()
         events: list[TokenEvent] = []
         for state in self.scheduler.decode_order():
             events.extend(self._advance(state))
-        while self.scheduler.over_budget():
-            victim = self.scheduler.pop_preemption_victim()
-            if victim is None:
-                break
-            victim.prepared = None
-            victim.stats.n_preemptions += 1
-            self.scheduler.requeue_front(victim)
+        self._rebalance()
         for state in self.scheduler.waiting:
             state.stats.n_queue_steps += 1
         return events
 
-    def _admit(self, state: SequenceState) -> None:
-        """Prefill the queue head and move it into the running set."""
+    def _rebalance(self) -> None:
+        """Preempt newest-eligible sequences until budgets are respected."""
+        while self.scheduler.over_budget():
+            victim = self.scheduler.pop_preemption_victim()
+            if victim is None:
+                break
+            self._preempt(victim)
+
+    def _admit(self, state: SequenceState) -> bool:
+        """Prefill (or swap in) the queue head and move it to the running set.
+
+        Returns ``False`` when the shared pool could not hold the sequence
+        right now (admission stops for this step; preemption or completions
+        will free pages).  A request that cannot fit even in an *empty* pool
+        is a hard error — it could never be served.
+        """
+        if state.swapped and state.prepared is not None:
+            try:
+                state.prepared.swap_in()
+            except PoolExhausted:
+                if not self.scheduler.running:
+                    raise
+                return False
+            state.swapped = False
+            state.stats.n_swap_ins += 1
+            self.scheduler.mark_running(state)
+            return True
         backend = self.get_backend(state.request.backend)
-        prepared = backend.prepare(state.request)
+        try:
+            prepared = backend.prepare(state.request)
+        except PoolExhausted:
+            if not self.scheduler.running:
+                raise
+            return False
         # After a preemption the request is recomputed from scratch; replay
         # the already-streamed tokens silently so consumers see no duplicates
         # (deterministic sampling reproduces the identical prefix).
@@ -242,6 +341,26 @@ class InferenceEngine:
         if state.stats.scheduled_at is None:
             state.stats.scheduled_at = self._clock()
         self.scheduler.mark_running(state)
+        return True
+
+    def _preempt(self, state: SequenceState) -> None:
+        """Roll a victim back to the waiting queue (swap if possible)."""
+        prepared = state.prepared
+        if (
+            self.preemption == "swap"
+            and prepared is not None
+            and prepared.supports_swap
+        ):
+            prepared.swap_out()
+            state.swapped = True
+            state.stats.n_swap_outs += 1
+        else:
+            if prepared is not None and prepared.release is not None:
+                prepared.release()
+            state.prepared = None
+            state.swapped = False
+        state.stats.n_preemptions += 1
+        self.scheduler.requeue_front(state)
 
     def _advance(self, state: SequenceState) -> list[TokenEvent]:
         """Advance one running sequence by one decode step."""
@@ -269,12 +388,22 @@ class InferenceEngine:
         return events
 
     def _finalize(self, state: SequenceState) -> TokenEvent:
-        """Record the result of a finished sequence and retire it."""
+        """Record the result of a finished sequence and retire it.
+
+        The sequence's measured KV bytes are sampled into
+        ``details["kv_bytes"]`` *before* its pages are returned to the
+        shared pool.
+        """
         session = state.prepared.session
         prepared = state.prepared
         state.finished = True
         state.stats.finished_at = self._clock()
         state.stats.n_generated = session.n_generated
+        details = dict(prepared.details)
+        if prepared.kv_bytes is not None:
+            details["kv_bytes"] = prepared.kv_bytes()
+        if prepared.release is not None:
+            prepared.release()
         result = GenerationResult(
             request_id=state.request_id,
             backend=state.request.backend,
@@ -285,7 +414,7 @@ class InferenceEngine:
             n_prompt_tokens=prepared.n_prompt_tokens,
             plan=prepared.plan,
             stats=state.stats,
-            details=dict(prepared.details),
+            details=details,
         )
         self._results[state.request_id] = result
         self.scheduler.remove(state)

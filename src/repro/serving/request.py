@@ -143,6 +143,11 @@ class RequestStats:
     n_decode_steps: int = 0
     n_queue_steps: int = 0
     n_preemptions: int = 0
+    #: Preemptions served by swapping pages to the host store (a subset of
+    #: ``n_preemptions``; the remainder were recompute preemptions).
+    n_swap_outs: int = 0
+    #: Swapped pages restored on re-admission (no recompute performed).
+    n_swap_ins: int = 0
 
     @property
     def queue_seconds(self) -> float | None:

@@ -1,25 +1,34 @@
 """Continuous-batching scheduler.
 
 Policy, in one paragraph: requests are admitted FIFO from a waiting queue
-whenever a slot (``max_running``) and KV-token headroom
-(``max_live_tokens``) are available; each engine step then performs one
-round-robin pass over the running set, advancing every in-flight sequence
-by exactly one decode step, so short and long requests interleave instead
-of head-of-line blocking.  If the live KV-token footprint outgrows the
-budget (decode tokens accumulate after admission), the most recently
-admitted sequence is preempted: its prepared state is dropped and the
-request is returned to the *front* of the waiting queue, to be recomputed
-from scratch later (recompute-style preemption; deterministic sampling
-replays the identical tokens).
+whenever a slot (``max_running``), KV-token headroom (``max_live_tokens``)
+and free pool pages (when the engine runs on a bounded
+:class:`~repro.kvpool.BlockPool`) are available; each engine step then
+performs one round-robin pass over the running set, advancing every
+in-flight sequence by exactly one decode step, so short and long requests
+interleave instead of head-of-line blocking.  If the live KV footprint
+outgrows the budget (decode tokens accumulate after admission), the most
+recently admitted *eligible* sequence is preempted — a sequence one token
+from finishing is never picked, which breaks the preempt-thrash loop where
+an almost-done victim is rolled back and replayed forever.  The engine then
+either swaps the victim's pages to a host-side store (cheap: the decode
+session survives intact and resumes without recompute) or, for backends
+without swap support, drops its prepared state for recompute; either way
+the request returns to the *front* of the waiting queue.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.kvpool.cache import BlockTable
 from repro.serving.backends import PreparedSequence
 from repro.serving.request import GenerationRequest, RequestStats, TokenEvent
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.kvpool.pool import BlockPool
 
 
 @dataclass
@@ -32,6 +41,9 @@ class SequenceState:
     #: Tokens already streamed to consumers (survives preemption; replayed
     #: tokens are suppressed instead of re-emitted).
     n_emitted: int = 0
+    #: Whether the prepared sequence's pages sit in the host-side swap store
+    #: (set by swap preemption; cleared when the pages are restored).
+    swapped: bool = False
     finished: bool = False
 
     @property
@@ -42,19 +54,36 @@ class SequenceState:
         """KV rows restored immediately on (re)admission.
 
         A fresh request prefills its prompt plus one decode row; a
-        preempted request additionally replays every token it already
-        emitted, so the estimate must include them or a tight budget
-        admits the sequence only to preempt it again in the same step.
+        preempted request additionally replays (or swaps back) every token
+        it already emitted, so the estimate must include them or a tight
+        budget admits the sequence only to preempt it again in the same
+        step.
         """
         return self.request.n_prompt_tokens + self.n_emitted + 1
 
     def live_tokens(self) -> int:
-        """KV rows currently held (0 while waiting)."""
-        return self.prepared.live_tokens() if self.prepared is not None else 0
+        """KV rows currently held (0 while waiting or swapped out)."""
+        if self.prepared is None or self.swapped:
+            return 0
+        return self.prepared.live_tokens()
+
+    @property
+    def nearly_finished(self) -> bool:
+        """Whether at most one decode-budget token remains.
+
+        Preempting such a sequence can never pay off: the rollback costs a
+        full prefill (or swap round-trip) to recover at most one token of
+        budget, and under a tight budget it creates a livelock where the
+        same victim is rolled back and replayed repeatedly.
+        """
+        if self.prepared is None or self.prepared.session is None:
+            return False
+        session = self.prepared.session
+        return session.finished or session.remaining_budget <= 1
 
 
 class ContinuousBatchingScheduler:
-    """FIFO admission, round-robin decode order, LIFO recompute preemption.
+    """FIFO admission, round-robin decode order, LIFO preemption with guards.
 
     Parameters
     ----------
@@ -64,18 +93,39 @@ class ContinuousBatchingScheduler:
         Optional cap on the summed KV rows of all running sequences.
         Admission is optimistic — a sequence is admitted if the *current*
         footprint plus its prompt fits — so the cap can be exceeded later as
-        decode tokens accumulate; :meth:`preemption_victims` then names the
-        sequences to roll back.  ``None`` disables the cap (admission is
-        bounded by ``max_running`` only).
+        decode tokens accumulate; :meth:`pop_preemption_victim` then names
+        the sequences to roll back.  ``None`` disables the cap.
+    pool:
+        The engine's shared :class:`~repro.kvpool.BlockPool`, when serving
+        runs on paged KV storage.  With a *bounded* pool the scheduler also
+        gates admission on free pages and triggers preemption when the pool
+        runs low (fewer free pages than running sequences — each running
+        sequence may need a fresh page within ``block_size`` steps).
+    max_live_blocks:
+        Optional cap on simultaneously allocated pool pages, tighter than
+        the pool's own capacity (useful to reserve headroom for prefills).
     """
 
-    def __init__(self, *, max_running: int = 8, max_live_tokens: int | None = None):
+    def __init__(
+        self,
+        *,
+        max_running: int = 8,
+        max_live_tokens: int | None = None,
+        pool: "BlockPool | None" = None,
+        max_live_blocks: int | None = None,
+    ):
         if max_running < 1:
             raise ValueError(f"max_running must be >= 1, got {max_running}")
         if max_live_tokens is not None and max_live_tokens < 1:
             raise ValueError(f"max_live_tokens must be >= 1, got {max_live_tokens}")
+        if max_live_blocks is not None and max_live_blocks < 1:
+            raise ValueError(f"max_live_blocks must be >= 1, got {max_live_blocks}")
+        if max_live_blocks is not None and pool is None:
+            raise ValueError("max_live_blocks requires a block pool")
         self.max_running = max_running
         self.max_live_tokens = max_live_tokens
+        self.pool = pool
+        self.max_live_blocks = max_live_blocks
         self.waiting: deque[SequenceState] = deque()
         self.running: list[SequenceState] = []  # admission order
 
@@ -89,6 +139,27 @@ class ContinuousBatchingScheduler:
         """Summed KV rows of all running sequences."""
         return sum(state.live_tokens() for state in self.running)
 
+    def _blocks_for(self, n_tokens: int) -> int:
+        return BlockTable.blocks_for_tokens(n_tokens, self.pool.block_size)
+
+    def _fits_block_budget(self, state: SequenceState) -> bool:
+        """Whether the head's pages fit the pool right now.
+
+        Beyond the head's own pages, one growth page per running sequence
+        *including the head itself* is reserved — this matches the
+        :meth:`over_budget` watermark after admission, so a newcomer is
+        never admitted only to be swap-preempted in the same step, and a
+        transiently full pool cannot truncate a sequence mid-generation.
+        """
+        if self.pool is None:
+            return True
+        needed = self._blocks_for(state.admission_tokens())
+        if not self.pool.can_allocate(needed + len(self.running) + 1):
+            return False
+        if self.max_live_blocks is not None:
+            return self.pool.n_allocated + needed <= self.max_live_blocks
+        return True
+
     def next_to_admit(self) -> SequenceState | None:
         """Head of the waiting queue, if it fits right now (FIFO only).
 
@@ -98,9 +169,13 @@ class ContinuousBatchingScheduler:
         if not self.waiting or len(self.running) >= self.max_running:
             return None
         head = self.waiting[0]
-        if self.max_live_tokens is not None and self.running:
+        if not self.running:
+            return head
+        if self.max_live_tokens is not None:
             if self.live_tokens() + head.admission_tokens() > self.max_live_tokens:
                 return None
+        if not self._fits_block_budget(head):
+            return None
         return head
 
     # -- transitions ---------------------------------------------------------
@@ -131,22 +206,39 @@ class ContinuousBatchingScheduler:
     # -- preemption ----------------------------------------------------------
 
     def over_budget(self) -> bool:
-        """Whether the running set currently exceeds the token budget."""
-        if self.max_live_tokens is None:
-            return False
-        return self.live_tokens() > self.max_live_tokens
+        """Whether the running set currently exceeds its resource budgets."""
+        if self.max_live_tokens is not None:
+            if self.live_tokens() > self.max_live_tokens:
+                return True
+        if self.pool is not None:
+            if (
+                self.max_live_blocks is not None
+                and self.pool.n_allocated > self.max_live_blocks
+            ):
+                return True
+            free = self.pool.n_free_blocks
+            if free is not None and free < len(self.running) and len(self.running) > 1:
+                # Each running sequence may need a fresh page within
+                # block_size steps; preempt before allocation fails.
+                return True
+        return False
 
     def pop_preemption_victim(self) -> SequenceState | None:
-        """Remove and return the most recently admitted sequence.
+        """Remove and return the newest *eligible* running sequence.
 
-        The oldest sequence is never preempted (LIFO victim selection):
-        preempting the newest wastes the least completed work and the
-        survivor guarantees forward progress.  Returns ``None`` when only
-        one sequence is running.
+        Victim selection is LIFO (the newest sequence wastes the least
+        completed work) with two guards: the oldest sequence is never
+        preempted (the survivor guarantees forward progress), and a
+        sequence within one token of finishing is skipped — rolling it back
+        recovers at most one token of budget and creates a preempt-thrash
+        loop under tight budgets.  Returns ``None`` when no sequence is
+        eligible.
         """
-        if len(self.running) <= 1:
-            return None
-        return self.running.pop()
+        for index in range(len(self.running) - 1, 0, -1):
+            if self.running[index].nearly_finished:
+                continue
+            return self.running.pop(index)
+        return None
 
 
 def terminal_event(state: SequenceState, stopped_by: str) -> TokenEvent:

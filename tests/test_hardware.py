@@ -14,6 +14,7 @@ from repro.hardware.latency import (
 )
 from repro.hardware.layout import KVCacheProfile, LayoutKind, classify_layout
 from repro.hardware.memory import (
+    analytic_context_kv_bytes,
     fits_in_memory,
     gpu_memory_gb,
     kv_cache_bytes,
@@ -146,6 +147,27 @@ class TestMemoryModel:
             kv_cache_bytes(_SPEC, FP16_PROFILE, -1)
         with pytest.raises(ValueError):
             gpu_memory_gb(_SPEC, FP16_PROFILE, 100, batch_size=0)
+
+    def test_analytic_context_kv_bytes(self):
+        """Per-request analytic estimate: packed payload + per-token metadata."""
+        geometry = dict(n_layers=2, n_kv_heads=2, head_dim=8)
+        fp16_bits = np.full(10, int(BitWidth.FP16), dtype=np.int64)
+        fp16 = analytic_context_kv_bytes(fp16_bits, **geometry)
+        # 10 tokens * 2 tensors * 2 layers * 2 heads * 8 dims * 2 bytes.
+        assert fp16 == 10 * 2 * 2 * 2 * 8 * 2
+        int4 = analytic_context_kv_bytes(
+            np.full(10, int(BitWidth.INT4), dtype=np.int64), **geometry
+        )
+        assert int4 < fp16
+        # INT4 payload is a quarter of FP16's; metadata is added on top.
+        payload = 10 * 2 * 2 * 2 * 8 * 4 // 8
+        metadata = 10 * 2 * 2 * 2 * 4
+        assert int4 == payload + metadata
+        mixed = analytic_context_kv_bytes(
+            np.array([2] * 5 + [16] * 5, dtype=np.int64), **geometry
+        )
+        assert mixed < fp16
+        assert analytic_context_kv_bytes(np.zeros(0, dtype=np.int64), **geometry) == 0
 
 
 class TestLatencyModel:

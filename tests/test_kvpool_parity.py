@@ -1,0 +1,178 @@
+"""Equivalence suite: the paged KV pool is a pure storage change.
+
+The acceptance bar of the kvpool refactor: for every registered decode
+backend, an engine serving out of the shared paged block pool (packed
+quantized context storage, per-page dequantizing gathers) produces outputs
+**bit-identical** to the dense reference cache — same logits at prefill,
+same generated tokens, same stop reasons — while reporting real, lower
+measured context bytes for the quantized methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.evaluation.efficiency import serving_stats_table
+from repro.kvpool import BlockPool
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest
+
+CHUNK_SIZE = 16
+
+#: Every globally registered backend: both Cocktail execution paths plus all
+#: of the paper's baselines.
+ALL_BACKENDS = ("dense", "cocktail", "blockwise", "fp16", "atom", "kivi", "kvquant")
+
+
+def make_engine(vocab, tokenizer, model, kv_cache: str, **kwargs) -> InferenceEngine:
+    return InferenceEngine(
+        model,
+        tokenizer,
+        CocktailConfig(chunk_size=CHUNK_SIZE),
+        lexicon=vocab.lexicon,
+        kv_cache=kv_cache,
+        **kwargs,
+    )
+
+
+class TestPagedDenseParity:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_backend_outputs_bit_identical(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, backend
+    ):
+        sample = tiny_samples[0]
+        results = {}
+        for kind in ("paged", "dense"):
+            engine = make_engine(vocab, tokenizer, retrieval_model, kind)
+            results[kind] = engine.run(
+                GenerationRequest(
+                    sample.context_words,
+                    sample.query_words,
+                    max_new_tokens=6,
+                    backend=backend,
+                )
+            )
+        paged, dense = results["paged"], results["dense"]
+        assert paged.token_ids == dense.token_ids
+        assert paged.answer_text == dense.answer_text
+        assert paged.stopped_by == dense.stopped_by
+        assert paged.n_prompt_tokens == dense.n_prompt_tokens
+        np.testing.assert_array_equal(
+            paged.plan.token_bits, dense.plan.token_bits
+        )
+        # The paged engine always measures pool bytes.
+        assert "kv_bytes" in paged.details
+        assert paged.details["kv_bytes"]["total_bytes"] > 0
+
+    def test_prefill_logits_bit_identical(self, retrieval_model, tokenizer):
+        """Raw model-level check: prefill + decode over both cache kinds."""
+        model = retrieval_model
+        prompt = tokenizer.encode(["the"] * 50 + ["<sep>", "the"])
+        dense_cache = model.new_cache()
+        pool = BlockPool(
+            model.config.n_layers,
+            model.config.n_kv_heads,
+            model.config.head_dim,
+            block_size=16,
+        )
+        paged_cache = model.new_cache(pool=pool)
+        dense_logits = model.prefill(prompt, dense_cache)
+        paged_logits = model.prefill(prompt, paged_cache)
+        np.testing.assert_array_equal(dense_logits, paged_logits)
+        for token in (3, 5, 7):
+            np.testing.assert_array_equal(
+                model.decode_step(token, dense_cache),
+                model.decode_step(token, paged_cache),
+            )
+        for layer in range(model.config.n_layers):
+            np.testing.assert_array_equal(
+                dense_cache.layer(layer).keys(), paged_cache.layer(layer).keys()
+            )
+
+    def test_mixed_backend_batch_parity_under_concurrency(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """Continuous batching over all backends at once, both cache kinds."""
+        requests = [
+            GenerationRequest(
+                sample.context_words,
+                sample.query_words,
+                max_new_tokens=5,
+                backend=backend,
+            )
+            for sample, backend in zip(
+                (tiny_samples * 2)[: len(ALL_BACKENDS)], ALL_BACKENDS
+            )
+        ]
+        outputs = {}
+        for kind in ("paged", "dense"):
+            engine = make_engine(vocab, tokenizer, retrieval_model, kind, max_running=8)
+            fresh = [
+                GenerationRequest(
+                    r.context_words, r.query_words, max_new_tokens=5, backend=r.backend
+                )
+                for r in requests
+            ]
+            outputs[kind] = [
+                (r.backend, r.token_ids, r.stopped_by)
+                for r in engine.run_batch(fresh)
+            ]
+        assert outputs["paged"] == outputs["dense"]
+
+    def test_pool_is_drained_after_batch(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """Every page goes back to the pool once its request completes."""
+        engine = make_engine(vocab, tokenizer, retrieval_model, "paged", max_running=4)
+        requests = [
+            GenerationRequest(
+                sample.context_words,
+                sample.query_words,
+                max_new_tokens=4,
+                backend=backend,
+            )
+            for sample, backend in zip(tiny_samples, ("dense", "blockwise", "kivi", "fp16"))
+        ]
+        engine.run_batch(requests)
+        assert engine.pool.n_allocated == 0
+        assert engine.pool.peak_allocated_blocks > 0
+
+
+class TestMeasuredBytes:
+    def test_quantized_methods_beat_fp16_in_serving_table(self):
+        """Acceptance: measured context-cache bytes, quantized < FP16."""
+        table = serving_stats_table(
+            n_requests=4,
+            methods=("dense", "blockwise", "fp16", "kivi"),
+            max_new_tokens=4,
+        )
+        fp16_ctx = table.get("FP16", "ctx KV B")
+        assert fp16_ctx > 0
+        for row in ("dense", "blockwise", "KIVI"):
+            assert table.get(row, "ctx KV B") < fp16_ctx
+
+    def test_paged_kv_bytes_details(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        sample = tiny_samples[1]
+        engine = make_engine(vocab, tokenizer, retrieval_model, "paged")
+        fp16 = engine.run(
+            GenerationRequest(
+                sample.context_words, sample.query_words, max_new_tokens=3, backend="fp16"
+            )
+        )
+        cocktail = engine.run(
+            GenerationRequest(
+                sample.context_words, sample.query_words, max_new_tokens=3, backend="dense"
+            )
+        )
+        fp16_bytes = fp16.details["kv_bytes"]
+        cocktail_bytes = cocktail.details["kv_bytes"]
+        assert cocktail_bytes["context_bytes"] < fp16_bytes["context_bytes"]
+        assert cocktail_bytes["context_fp16_bytes"] == fp16_bytes["context_fp16_bytes"]
+        assert (
+            cocktail_bytes["total_bytes"]
+            == cocktail_bytes["context_bytes"] + cocktail_bytes["generated_bytes"]
+        )

@@ -51,6 +51,38 @@ class TestLayerKVCache:
         with pytest.raises(ValueError):
             LayerKVCache(n_kv_heads=1, head_dim=2, capacity=0)
 
+    def test_lazy_allocation_only_valid_region(self, rng):
+        """Regression: clones/snapshots of a huge-capacity cache must not
+        zero-initialise the full capacity (the recompute-preemption hot
+        path paid this on every rollback)."""
+        cache = LayerKVCache(n_kv_heads=2, head_dim=4, capacity=100_000)
+        assert cache.k.shape[0] == 0  # nothing allocated up front
+        kv = rng.normal(size=(3, 2, 4)).astype(np.float32)
+        cache.append(kv, kv.copy())
+        assert cache.k.shape[0] < cache.capacity
+        clone = cache.clone()
+        # The clone holds exactly the valid region, not `capacity` rows.
+        assert clone.k.shape[0] == clone.length == 3
+        np.testing.assert_array_equal(clone.keys(), cache.keys())
+
+    def test_growth_respects_capacity(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=5)
+        kv = rng.normal(size=(1, 1, 2)).astype(np.float32)
+        for _ in range(5):
+            cache.append(kv, kv)
+        assert cache.length == 5 and cache.k.shape[0] == 5
+        with pytest.raises(ValueError, match="overflow"):
+            cache.append(kv, kv)
+
+    def test_clone_remains_appendable_to_capacity(self, rng):
+        cache = LayerKVCache(n_kv_heads=1, head_dim=2, capacity=8)
+        kv = rng.normal(size=(2, 1, 2)).astype(np.float32)
+        cache.append(kv, kv)
+        clone = cache.clone()
+        clone.append(kv, kv)
+        assert clone.length == 4 and cache.length == 2
+        np.testing.assert_array_equal(clone.keys()[:2], cache.keys())
+
 
 class TestModelKVCache:
     def _filled(self, rng, n_layers=3, n=5):

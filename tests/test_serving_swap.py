@@ -1,0 +1,306 @@
+"""Swap-based preemption and the preempt-thrash fairness guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.serving.backends import PreparedSequence
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest
+from repro.serving.scheduler import ContinuousBatchingScheduler, SequenceState
+
+CHUNK_SIZE = 16
+
+
+def make_engine(vocab, tokenizer, model, **kwargs) -> InferenceEngine:
+    return InferenceEngine(
+        model,
+        tokenizer,
+        CocktailConfig(chunk_size=CHUNK_SIZE),
+        lexicon=vocab.lexicon,
+        **kwargs,
+    )
+
+
+def tight_budget_requests(tiny_samples):
+    """Two dense requests whose combined footprint exceeds a tight budget."""
+    first, second = tiny_samples[0], tiny_samples[1]
+    requests = [
+        GenerationRequest(
+            sample.context_words,
+            sample.query_words,
+            max_new_tokens=8,
+            backend="dense",
+        )
+        for sample in (first, second)
+    ]
+    budget = requests[0].n_prompt_tokens + requests[1].n_prompt_tokens + 1
+    return requests, budget
+
+
+class TestSwapPreemption:
+    def test_swap_roundtrips_without_recompute(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """A swapped victim resumes in place: same tokens, zero replay work."""
+        requests, budget = tight_budget_requests(tiny_samples)
+        engine = make_engine(
+            vocab,
+            tokenizer,
+            retrieval_model,
+            max_running=2,
+            max_live_tokens=budget,
+            preemption="swap",
+        )
+        rids = [engine.submit(request) for request in requests]
+        events = []
+        while engine.has_pending:
+            events.extend(engine.step())
+        results = [engine.result(rid) for rid in rids]
+
+        victim = results[1]
+        assert victim.stats.n_preemptions >= 1
+        assert victim.stats.n_swap_outs >= 1
+        assert victim.stats.n_swap_ins >= 1
+        assert victim.stats.n_swap_outs == victim.stats.n_preemptions
+        # No recompute: every decode step produced forward progress (at most
+        # one extra step for the terminal advance), unlike the recompute
+        # path which replays the already-emitted prefix after each rollback.
+        assert victim.stats.n_decode_steps <= victim.stats.n_generated + 1
+
+        # Reference: the same requests served without any capacity pressure.
+        unconstrained = make_engine(vocab, tokenizer, retrieval_model, max_running=2)
+        reference = unconstrained.run_batch(
+            [
+                GenerationRequest(
+                    s.context_words, s.query_words, max_new_tokens=8, backend="dense"
+                )
+                for s in tiny_samples[:2]
+            ]
+        )
+        for got, want in zip(results, reference):
+            assert got.token_ids == want.token_ids
+            assert got.stopped_by == want.stopped_by
+
+        # The swapped request's stream stayed duplicate-free and ordered.
+        victim_tokens = [
+            e for e in events if e.request_id == rids[1] and e.token_id is not None
+        ]
+        assert [e.index for e in victim_tokens] == list(range(len(victim_tokens)))
+        assert [e.token_id for e in victim_tokens] == victim.token_ids
+
+    def test_recompute_mode_still_replays(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """preemption='recompute' preserves the old rollback semantics."""
+        requests, budget = tight_budget_requests(tiny_samples)
+        engine = make_engine(
+            vocab,
+            tokenizer,
+            retrieval_model,
+            max_running=2,
+            max_live_tokens=budget,
+            preemption="recompute",
+        )
+        results = engine.run_batch(requests)
+        victim = results[1]
+        assert victim.stats.n_preemptions >= 1
+        assert victim.stats.n_swap_outs == 0
+        # Recompute is visible as replayed decode steps.
+        assert victim.stats.n_decode_steps > victim.stats.n_generated + 1
+
+    def test_swap_and_recompute_agree_on_outputs(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        requests, budget = tight_budget_requests(tiny_samples)
+        outputs = {}
+        for mode in ("swap", "recompute"):
+            engine = make_engine(
+                vocab,
+                tokenizer,
+                retrieval_model,
+                max_running=2,
+                max_live_tokens=budget,
+                preemption=mode,
+            )
+            fresh = [
+                GenerationRequest(
+                    r.context_words,
+                    r.query_words,
+                    max_new_tokens=8,
+                    backend="dense",
+                )
+                for r in requests
+            ]
+            outputs[mode] = [
+                (r.token_ids, r.stopped_by) for r in engine.run_batch(fresh)
+            ]
+        assert outputs["swap"] == outputs["recompute"]
+
+    def test_swap_frees_pool_pages_while_waiting(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        requests, budget = tight_budget_requests(tiny_samples)
+        engine = make_engine(
+            vocab,
+            tokenizer,
+            retrieval_model,
+            max_running=2,
+            max_live_tokens=budget,
+        )
+        for request in requests:
+            engine.submit(request)
+        swapped_pages = []
+        while engine.has_pending:
+            engine.step()
+            for state in engine.scheduler.waiting:
+                if state.swapped:
+                    # While a victim waits swapped-out, its pages are free.
+                    swapped_pages.append(state.live_tokens())
+        assert swapped_pages and all(pages == 0 for pages in swapped_pages)
+        assert engine.pool.n_swap_outs >= 1
+        assert engine.pool.n_allocated == 0
+
+    @pytest.mark.parametrize("capacity_blocks", (7, 9))
+    def test_bounded_pool_never_truncates_output(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, capacity_blocks
+    ):
+        """Regression: pool pressure must preempt, not stop a request early.
+
+        With two sequences squeezed into a pool barely larger than one of
+        them, a sequence that observes a transiently full pool mid-round
+        must be swapped out and resumed — finishing ``cache_full`` one
+        token short is a correctness bug.  Outputs must match the
+        unconstrained engine exactly at every capacity.
+        """
+        from repro.kvpool import BlockPool
+
+        sample = tiny_samples[2]
+
+        def requests():
+            return [
+                GenerationRequest(
+                    sample.context_words[:40],
+                    sample.query_words,
+                    max_new_tokens=6,
+                    backend="dense",
+                )
+                for _ in range(2)
+            ]
+
+        reference = make_engine(
+            vocab, tokenizer, retrieval_model, max_running=2
+        ).run_batch(requests())
+        config = retrieval_model.config
+        pool = BlockPool(
+            config.n_layers,
+            config.n_kv_heads,
+            config.head_dim,
+            block_size=16,
+            capacity_blocks=capacity_blocks,
+        )
+        engine = make_engine(
+            vocab, tokenizer, retrieval_model, max_running=2, pool=pool
+        )
+        results = engine.run_batch(requests())
+        for got, want in zip(results, reference):
+            assert got.token_ids == want.token_ids
+            assert got.stopped_by == want.stopped_by
+        assert pool.n_allocated == 0
+
+    def test_invalid_modes_rejected(self, vocab, tokenizer, retrieval_model):
+        with pytest.raises(ValueError, match="preemption"):
+            make_engine(vocab, tokenizer, retrieval_model, preemption="drop")
+        with pytest.raises(ValueError, match="kv_cache"):
+            make_engine(vocab, tokenizer, retrieval_model, kv_cache="mmap")
+        with pytest.raises(ValueError, match="paged"):
+            make_engine(
+                vocab, tokenizer, retrieval_model, kv_cache="dense", max_live_blocks=4
+            )
+
+
+class TestPreemptThrashGuard:
+    """Regression tests for the near-finish victim guard."""
+
+    @staticmethod
+    def make_state(prompt_len: int, budget: int = 4) -> SequenceState:
+        request = GenerationRequest(
+            ["w"] * (prompt_len - 2), ["q"], max_new_tokens=budget
+        )
+        return SequenceState(request=request)
+
+    @classmethod
+    def running_state(
+        cls, scheduler, prompt_len: int, live: int, session=None
+    ) -> SequenceState:
+        state = cls.make_state(prompt_len)
+        state.prepared = PreparedSequence(
+            session=session,
+            plan=None,
+            n_prompt_tokens=state.request.n_prompt_tokens,
+            n_context_tokens=len(state.request.context_words),
+            live_tokens=lambda: live,
+        )
+        scheduler.enqueue(state)
+        scheduler.mark_running(state)
+        return state
+
+    def test_victim_guard_skips_nearly_finished(self):
+        from repro.model.decode import DecodeSession
+        import numpy as np
+
+        scheduler = ContinuousBatchingScheduler(max_running=4, max_live_tokens=30)
+        logits = np.zeros(8, dtype=np.float32)
+
+        def step(_token):
+            return logits
+
+        old = self.running_state(scheduler, 10, live=20)
+        # Newest sequence has a 2-token budget and already emitted 1 token:
+        # one token from finishing, so it must be spared.
+        session = DecodeSession(step, logits, max_new_tokens=2)
+        session.advance()
+        assert session.remaining_budget == 1
+        newest = self.running_state(scheduler, 10, live=20, session=session)
+        assert scheduler.over_budget()
+        assert newest.nearly_finished
+        victim = scheduler.pop_preemption_victim()
+        assert victim is None  # newest spared, oldest never preempted
+        # A third, preemptable sequence becomes the victim instead.
+        middle = self.running_state(scheduler, 10, live=20)
+        assert scheduler.pop_preemption_victim() is middle
+        assert old in scheduler.running and newest in scheduler.running
+
+    def test_no_thrash_loop_under_tight_budget(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """The same victim is not rolled back repeatedly at its last token.
+
+        Under recompute preemption with a budget that is permanently
+        exceeded while both sequences run, an unguarded LIFO policy keeps
+        preempting the newest sequence even when it is one token from
+        finishing — each rollback replays the whole prefix, so its decode
+        steps grow quadratically.  With the guard, every generated token is
+        replayed at most once after its final preemption.
+        """
+        requests, budget = tight_budget_requests(tiny_samples)
+        engine = make_engine(
+            vocab,
+            tokenizer,
+            retrieval_model,
+            max_running=2,
+            max_live_tokens=budget,
+            preemption="recompute",
+        )
+        results = engine.run_batch(requests)
+        victim = results[1]
+        assert victim.stats.n_preemptions >= 1
+        # Once within one token of its budget, the victim is spared; it can
+        # only have been preempted before reaching that point.
+        assert victim.stats.n_preemptions < requests[1].max_new_tokens
+        steps = victim.stats.n_decode_steps
+        worst_case_without_guard = (
+            victim.stats.n_generated * (victim.stats.n_generated + 1)
+        )
+        assert steps < worst_case_without_guard
