@@ -75,3 +75,32 @@ def test_fig6_measured_serving(benchmark, results_dir):
         assert table.get(row, "tokens") > 0
         # Timing stats are well-formed: queued before first token.
         assert table.get(row, "ttft ms") >= table.get(row, "queue ms") >= 0.0
+
+
+PREFIX_METHODS = ("dense", "fp16", "kivi")
+
+
+def _run_fig6_prefix_reuse():
+    return serving_stats_table(
+        n_requests=3,
+        methods=PREFIX_METHODS,
+        max_new_tokens=6,
+        max_running=4,
+        repeats=2,
+    )
+
+
+def test_fig6_prefix_reuse(benchmark, results_dir):
+    """Shared-document traffic: the same batch served twice through one
+    engine, measuring the prefix index's hit rate and the prefill bytes
+    warm requests adopted instead of re-created."""
+    table = benchmark.pedantic(_run_fig6_prefix_reuse, rounds=1, iterations=1)
+    save_table(results_dir, "fig6_prefix_reuse", table)
+    print("\n" + table.to_text(precision=2))
+
+    for method in PREFIX_METHODS:
+        row = method_display_name(method)
+        assert table.get(row, "requests") == 2.0
+        # The second (warm) pass adopted pages instead of re-packing them.
+        assert table.get(row, "hit blocks") > 0
+        assert table.get(row, "saved B") > 0

@@ -84,10 +84,17 @@ def main() -> None:
             f"{fmt_ms(stats.tpot_seconds):>8} {ctx_kib:>8}  {result.stopped_by:>10}  "
             f"{result.answer_text[:42]}"
         )
+    index = engine.prefix_cache
     print(
         f"\nshared KV pool: peak {engine.pool.peak_allocated_blocks} pages "
-        f"({engine.pool.peak_bytes / 1024:.1f} KiB measured), "
-        f"{engine.pool.n_allocated} still allocated (all pages returned)"
+        f"({engine.pool.peak_bytes / 1024:.1f} KiB measured); every request's "
+        f"private pages were returned, {index.n_blocks} packed context pages "
+        "stay retained by the prefix index for future repeated-context traffic"
+    )
+    print(
+        f"prefix index hit-rate: {index.stats.hit_rate:.0%} "
+        f"({index.stats.n_hit_blocks} page hits — distinct documents here; "
+        "see examples/serving_shared_prefix.py for shared-document reuse)"
     )
 
 

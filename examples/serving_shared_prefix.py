@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Shared-document traffic: cross-request KV reuse through the prefix index.
+
+A handful of users query the *same* long document concurrently (the classic
+"hot document" serving pattern).  With prefix caching on — the default for
+paged engines — the first request per (document, quantization plan) packs
+its context pages once; every later request adopts those ref-counted pages
+from the engine's radix prefix index instead of allocating, writing and
+re-quantizing them.  Decoded outputs are bit-identical to an engine with
+caching off; only the storage work changes.
+
+The script serves two waves of requests over two documents and prints the
+per-request reuse (`hit blk`, `cached tok`, `saved KiB`) plus the index's
+aggregate hit-rate.
+
+Run with:  PYTHONPATH=src python examples/serving_shared_prefix.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CocktailConfig
+from repro.datasets.longbench import build_dataset, build_vocabulary
+from repro.evaluation.setup import build_model, build_tokenizer
+from repro.serving import GenerationRequest, InferenceEngine
+
+#: Mixed methods on purpose: 'dense' and 'cocktail' share one fingerprint
+#: (same token-local numerics), so they warm each other's pages; 'fp16' and
+#: 'kivi' each maintain their own page family.
+BACKENDS = ("dense", "cocktail", "kivi", "fp16")
+
+
+def main() -> None:
+    vocab = build_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model("llama2-7b", tokenizer)
+    engine = InferenceEngine(
+        model,
+        tokenizer,
+        CocktailConfig(),
+        lexicon=vocab.lexicon,
+        max_running=4,
+    )
+
+    documents = build_dataset("qasper", 2, vocab=vocab, seed=11)
+    traffic = [
+        doc
+        for _wave in range(2)         # the second wave repeats both documents
+        for doc in documents
+        for _user in range(2)         # two concurrent users per document
+    ]
+    requests = [
+        GenerationRequest(
+            doc.context_words,
+            doc.query_words,
+            max_new_tokens=16,
+            backend=BACKENDS[i % len(BACKENDS)],
+        )
+        for i, doc in enumerate(traffic)
+    ]
+    results = engine.run_batch(requests, pop=True)
+
+    print(f"served {len(requests)} requests over {len(documents)} shared documents\n")
+    header = (
+        f"{'request':>8} {'backend':>9} {'hit blk':>7} {'cached tok':>10} "
+        f"{'saved KiB':>9}  answer"
+    )
+    print(header)
+    for result in results:
+        stats = result.stats
+        print(
+            f"{result.request_id:>8} {result.backend:>9} "
+            f"{stats.cache_hit_blocks:>7} {stats.cached_tokens:>10} "
+            f"{stats.cached_bytes / 1024:>9.1f}  {result.answer_text[:40]}"
+        )
+
+    index = engine.prefix_cache
+    print(
+        f"\nprefix index: {index.stats.n_hit_blocks} page hits / "
+        f"{index.stats.n_hit_blocks + index.stats.n_missed_blocks} lookups "
+        f"({index.stats.hit_rate:.0%} hit-rate), "
+        f"{index.stats.saved_bytes / 1024:.1f} KiB of prefill storage reused, "
+        f"{index.n_blocks} pages retained for future traffic"
+    )
+    print(
+        f"shared KV pool: peak {engine.pool.peak_allocated_blocks} pages, "
+        f"{engine.pool.n_cow_copies} copy-on-write forks"
+    )
+
+
+if __name__ == "__main__":
+    main()

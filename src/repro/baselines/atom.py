@@ -8,6 +8,8 @@ used and the bitwidth is INT4.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.base import (
     KVCacheQuantizer,
     KVQuantizationPlan,
@@ -54,7 +56,7 @@ class AtomQuantizer(KVCacheQuantizer):
             v_hat = group_quantize(v, self.bits, group).dequantize()
             cache.replace_context_kv(layer_index, k_hat, v_hat)
 
-    def encode_context(self, cache, plan: KVQuantizationPlan):
+    def encode_context(self, cache, plan: KVQuantizationPlan, *, start: int = 0):
         """Packed group-quantized storage (token-local channel groups)."""
         from repro.kvpool.codecs import encode_per_token_groups
 
@@ -63,6 +65,15 @@ class AtomQuantizer(KVCacheQuantizer):
             k, v = cache.context_kv(layer_index)
             group = min(self.group_size, k.shape[-1])
             encodings.append(
-                encode_per_token_groups(k, v, plan.token_bits, group)
+                encode_per_token_groups(k, v, plan.token_bits, group, start=start)
             )
         return encodings
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """Group quantization is token-local, so pages are shareable between
+        any requests agreeing on the token prefix; only the group size (the
+        bitwidth already rides in the block hashes) scopes the key."""
+        del plan, context_token_ids
+        return f"atom-ptg/g{self.group_size}"

@@ -140,7 +140,7 @@ class KVCacheQuantizer(abc.ABC):
     def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
         """Quantize the context region of ``cache`` in place (fake-quant view)."""
 
-    def encode_context(self, cache, plan: KVQuantizationPlan):
+    def encode_context(self, cache, plan: KVQuantizationPlan, *, start: int = 0):
         """Packed-storage encodings of the context region, or ``None``.
 
         Returns one ``(K, V)`` pair of
@@ -151,8 +151,33 @@ class KVCacheQuantizer(abc.ABC):
         to :meth:`apply` (the context pages then hold the fake-quantized
         floats at full precision, so correctness never depends on a method
         shipping an encoder).
+
+        ``start`` is the prefix-reuse hook: the leading ``start`` rows were
+        matched in the serving engine's prefix index and adopted already
+        packed, so encoders skip the quantization work for them wherever
+        the numerics are token-local (the encodings still span the full
+        context; the skipped code rows are simply blank).
         """
-        del cache, plan
+        del cache, plan, start
+        return None
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """Key scoping which requests may share this method's packed pages.
+
+        Two requests can reuse each other's context pages only when the
+        stored bytes are guaranteed identical.  The chained block hashes
+        (:func:`repro.kvpool.prefix.block_hashes`) already cover the token
+        ids and per-token bitwidths of every page and its whole prefix; the
+        fingerprint must cover **everything else** the bytes depend on —
+        method numerics, group sizes, and (for codecs fitted across the
+        whole context, like KIVI's per-channel scales) the full context
+        itself.  ``None`` means the method's pages are never shared, which
+        is the safe default for quantizers that do not declare their
+        storage dependencies.
+        """
+        del plan, context_token_ids
         return None
 
     def plan_and_apply(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.baselines.base import (
     KVCacheQuantizer,
     KVQuantizationPlan,
@@ -31,3 +33,11 @@ class FP16Quantizer(KVCacheQuantizer):
     def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
         """No-op: the cache already holds full-precision values."""
         del cache, plan
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """FP16 pages depend only on the token prefix, which the block
+        hashes cover entirely; a constant fingerprint suffices."""
+        del plan, context_token_ids
+        return "fp16"

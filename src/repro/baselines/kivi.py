@@ -8,6 +8,10 @@ the conventional per-token quantization.  Both use the same uniform bitwidth
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.baselines.base import (
     KVCacheQuantizer,
     KVQuantizationPlan,
@@ -50,8 +54,14 @@ class KIVIQuantizer(KVCacheQuantizer):
             v_hat = fake_quantize_per_token(v, self.bits)
             cache.replace_context_kv(layer_index, k_hat, v_hat)
 
-    def encode_context(self, cache, plan: KVQuantizationPlan):
-        """Packed storage: per-channel K codes (shared scales) + per-token V."""
+    def encode_context(self, cache, plan: KVQuantizationPlan, *, start: int = 0):
+        """Packed storage: per-channel K codes (shared scales) + per-token V.
+
+        The K scales are fitted across the whole context, so a prefix-reuse
+        ``start`` cannot skip the fit — but the per-token V rows below
+        ``start`` (adopted already packed) are skipped, and the re-fitted K
+        scales are bit-identical to the cached pages' by determinism.
+        """
         from repro.kvpool.codecs import (
             PerChannelCodec,
             PerTokenCodec,
@@ -72,9 +82,14 @@ class KIVIQuantizer(KVCacheQuantizer):
                 )
                 encodings.append((empty, empty))
                 continue
-            k_enc = encode_fitted(k, plan.token_bits, PerChannelCodec, self.bits)
+            k_enc = encode_fitted(
+                k, plan.token_bits, PerChannelCodec, self.bits, start=start
+            )
             v_codec = PerTokenCodec(self.bits, h, d)
-            codes, meta = v_codec.encode(v)
+            codes = np.zeros((n_tokens, v_codec.code_width), dtype=np.uint8)
+            meta = np.zeros((n_tokens, v_codec.meta_width), dtype=np.float32)
+            if start < n_tokens:
+                codes[start:], meta[start:] = v_codec.encode(v[start:])
             v_enc = TensorEncoding(
                 n_tokens=n_tokens,
                 n_kv_heads=h,
@@ -86,3 +101,15 @@ class KIVIQuantizer(KVCacheQuantizer):
             )
             encodings.append((k_enc, v_enc))
         return encodings
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """KIVI's per-channel K scales are fitted over *all* context tokens,
+        so a page's bytes depend on the entire context — only exact
+        full-context repeats may share pages.  The full token sequence is
+        folded into the fingerprint to enforce that."""
+        from repro.kvpool.prefix import content_hash
+
+        del plan
+        return f"kivi/b{int(self.bits)}/" + content_hash(list(context_token_ids))

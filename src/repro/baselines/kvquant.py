@@ -9,6 +9,8 @@ this cost is reflected in the plan's ``search_seconds``.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.baselines.base import (
@@ -102,8 +104,13 @@ class KVQuantQuantizer(KVCacheQuantizer):
             v[low_mask] = self._nuq_normalized(v[low_mask])
             cache.replace_context_kv(layer_index, k, v)
 
-    def encode_context(self, cache, plan: KVQuantizationPlan):
-        """Packed nuq codes per token; outlier tokens stay FP16 float rows."""
+    def encode_context(self, cache, plan: KVQuantizationPlan, *, start: int = 0):
+        """Packed nuq codes per token; outlier tokens stay FP16 float rows.
+
+        The per-channel normalisation and fitted codebook span the whole
+        context, so ``start`` only blanks the already-adopted code rows —
+        the fit itself always runs over every quantized token.
+        """
         from repro.kvpool.codecs import NuqChannelNormCodec, encode_fitted
 
         encodings = []
@@ -111,8 +118,27 @@ class KVQuantQuantizer(KVCacheQuantizer):
             k, v = cache.context_kv(layer_index)
             encodings.append(
                 (
-                    encode_fitted(k, plan.token_bits, NuqChannelNormCodec, self.bits),
-                    encode_fitted(v, plan.token_bits, NuqChannelNormCodec, self.bits),
+                    encode_fitted(
+                        k, plan.token_bits, NuqChannelNormCodec, self.bits, start=start
+                    ),
+                    encode_fitted(
+                        v, plan.token_bits, NuqChannelNormCodec, self.bits, start=start
+                    ),
                 )
             )
         return encodings
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """The nuq codebooks and channel normalisation are fitted over every
+        non-outlier context token, so pages are only shareable between exact
+        full-context repeats (same tokens, same outlier assignment — the
+        latter already rides in the hashed ``token_bits``)."""
+        del plan
+        from repro.kvpool.prefix import content_hash
+
+        return (
+            f"kvquant/b{int(self.bits)}/o{self.outlier_fraction}/"
+            + content_hash(list(context_token_ids))
+        )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -121,13 +121,19 @@ class CocktailQuantizer(KVCacheQuantizer):
                 v[mask] = group_quantize(v[mask], bits, head_dim).dequantize()
             cache.replace_context_kv(layer_index, k, v)
 
-    def encode_context(self, cache: ModelKVCache, plan: KVQuantizationPlan):
+    def encode_context(
+        self, cache: ModelKVCache, plan: KVQuantizationPlan, *, start: int = 0
+    ):
         """Packed per-``(token, head)``-group storage of the context region.
 
         Uses the exact :func:`~repro.quant.group.group_quantize` numerics
         :meth:`apply` runs, so the paged cache's dequantized gathers match
         the dense fake-quant path bit for bit; only the storage changes
         (bit-packed codes + FP16-accounted scales instead of floats).
+
+        The groups are token-local, so prefix reuse composes chunk-wise:
+        ``start`` rows matched in the serving engine's prefix index are not
+        re-quantized at all.
         """
         from repro.kvpool.codecs import encode_per_token_groups
 
@@ -135,9 +141,26 @@ class CocktailQuantizer(KVCacheQuantizer):
         for layer_index in range(cache.n_layers):
             k, v = cache.context_kv(layer_index)
             encodings.append(
-                encode_per_token_groups(k, v, plan.token_bits, k.shape[-1])
+                encode_per_token_groups(
+                    k, v, plan.token_bits, k.shape[-1], start=start
+                )
             )
         return encodings
+
+    def reuse_fingerprint(
+        self, plan: KVQuantizationPlan, context_token_ids: Sequence[int]
+    ) -> str | None:
+        """Cocktail's groups are per ``(token, head)`` — entirely token-local
+        — so a page's packed bytes depend only on its token rows and their
+        bitwidths, both covered by the chained block hashes.  A constant
+        fingerprint therefore suffices, and it is deliberately shared by
+        the dense/cocktail backends and the ablation variants (same
+        numerics, different chunk-bit *assignments*): a page packed by one
+        warms any of the others whenever tokens and bits agree, even under
+        different queries.
+        """
+        del plan, context_token_ids
+        return "cocktail-ptg"
 
     def build_chunked_caches(
         self, cache: ModelKVCache, plan: KVQuantizationPlan

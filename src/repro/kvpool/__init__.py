@@ -9,9 +9,19 @@ The subsystem the serving engine stores every sequence's KV cache in:
 * :mod:`~repro.kvpool.codecs` — token-row codecs that store each
   quantization method's *actual* packed codes + scales, bit-for-bit
   equivalent to the fake-quant simulation path.
+* :mod:`~repro.kvpool.prefix` — the cross-request reuse layer: chained
+  block hashes and the :class:`~repro.kvpool.prefix.PrefixCache` radix
+  index that lets warm requests adopt already-packed pages instead of
+  re-prefilling and re-quantizing a repeated context.
 """
 
 from repro.kvpool.cache import BlockTable, PagedKVCache, PagedLayerView
+from repro.kvpool.prefix import (
+    PrefixCache,
+    PrefixCacheStats,
+    block_hashes,
+    content_hash,
+)
 from repro.kvpool.codecs import (
     NuqChannelNormCodec,
     PerChannelCodec,
@@ -36,8 +46,12 @@ __all__ = [
     "PerTokenCodec",
     "PerTokenGroupCodec",
     "PoolExhausted",
+    "PrefixCache",
+    "PrefixCacheStats",
     "TensorEncoding",
     "TokenRowCodec",
+    "block_hashes",
+    "content_hash",
     "encode_fitted",
     "encode_per_token_groups",
 ]

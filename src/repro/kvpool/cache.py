@@ -16,9 +16,19 @@ decode-phase tokens.  Gathering dequantizes per page and is bit-for-bit
 identical to the dense fake-quant cache (see :mod:`repro.kvpool.codecs`).
 
 Preemption uses the pool's swap interface: :meth:`swap_out` detaches every
-page to a host-side store (freeing pool capacity for other sequences) and
-:meth:`swap_in` restores them, so a preempted request resumes without any
-recomputation.
+*exclusively-owned* page to a host-side store (freeing pool capacity for
+other sequences) and :meth:`swap_in` restores them, so a preempted request
+resumes without any recomputation.  Pages shared with other sequences or
+the prefix index stay resident across the round trip — they are someone
+else's storage too and are never evicted under a live reader.
+
+Cross-request reuse enters through :meth:`PagedKVCache.adopt_blocks`: a
+warm request starts its block table with retained references to already
+packed pages from the prefix index (:mod:`repro.kvpool.prefix`) and only
+allocates fresh pages for the unmatched tail.  All writes are
+copy-on-write: touching a row of a shared page first gives this sequence a
+private copy, so one sequence's decode tail can never corrupt a page
+another request is still reading.
 """
 
 from __future__ import annotations
@@ -115,8 +125,13 @@ class PagedKVCache:
         self._layer_lengths = [0] * pool.n_layers
         self._packed = False
         self._shared_metadata_bytes = 0
-        self._swapped_blocks: list[Block] | None = None
+        #: While swapped out: one entry per table slot, either
+        #: ``("host", Block)`` for a detached exclusive page or
+        #: ``("pool", block_id)`` for a shared page that stayed resident.
+        self._swap_state: list[tuple[str, Block | int]] | None = None
         self._released = False
+        #: Leading pages adopted from the prefix index (shared, pre-packed).
+        self.n_adopted_blocks = 0
         #: Per-layer memo of the last gather: ``(length, version, (k, v))``.
         #: ``keys()``/``values()`` are called back to back by attention on
         #: every decode step; without the memo each step would materialise
@@ -138,7 +153,7 @@ class PagedKVCache:
     @property
     def is_swapped(self) -> bool:
         """Whether the pages currently live in the host-side swap store."""
-        return self._swapped_blocks is not None
+        return self._swap_state is not None
 
     def layer_length(self, layer_index: int) -> int:
         return self._layer_lengths[layer_index]
@@ -157,6 +172,32 @@ class PagedKVCache:
         """KV rows currently resident in the pool (0 while swapped out)."""
         return 0 if self.is_swapped or self._released else self.length
 
+    # -- adoption (cross-request reuse) --------------------------------------
+
+    def adopt_blocks(self, block_ids: list[int], n_tokens: int) -> None:
+        """Seed an empty cache with shared pages from the prefix index.
+
+        The caller (the warm-prepare path) has already taken one reference
+        per page on this cache's behalf; adoption transfers those references
+        into the block table and declares the covered token rows valid in
+        every layer.  Only page-aligned full pages can be adopted.
+        """
+        if self.table.block_ids or self.length or self._packed:
+            raise RuntimeError("blocks can only be adopted into an empty cache")
+        if n_tokens != len(block_ids) * self.table.block_size:
+            raise ValueError(
+                f"{len(block_ids)} adopted pages cover "
+                f"{len(block_ids) * self.table.block_size} rows, not {n_tokens}"
+            )
+        if n_tokens > self.capacity:
+            raise ValueError(f"adopted rows exceed capacity {self.capacity}")
+        for block_id in block_ids:
+            self.pool.get(block_id)  # fail fast on unknown ids
+        self.table.block_ids = list(block_ids)
+        self._layer_lengths = [n_tokens] * self.n_layers
+        self.n_adopted_blocks = len(block_ids)
+        self._content_version += 1
+
     # -- writes --------------------------------------------------------------
 
     def _check_writable(self) -> None:
@@ -164,6 +205,20 @@ class PagedKVCache:
             raise RuntimeError("cache was released back to the pool")
         if self.is_swapped:
             raise RuntimeError("cache is swapped out; swap it in before use")
+
+    def _writable_block(self, index: int) -> Block:
+        """The page behind table slot ``index``, privately owned.
+
+        Writing to a shared page first copies it (copy-on-write), so decode
+        tails and fake-quant overwrites can never mutate storage another
+        sequence or the prefix index still reads.
+        """
+        block_id = self.table.block_ids[index]
+        new_id = self.pool.copy_on_write(block_id)
+        if new_id != block_id:
+            self.table.block_ids[index] = new_id
+            self._content_version += 1
+        return self.pool.get(new_id)
 
     def append_layer(self, layer_index: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
         """Append rows to one layer, allocating pages on demand."""
@@ -185,7 +240,7 @@ class PagedKVCache:
         while written < n:
             index, offset = self.table.locate(start + written)
             take = min(n - written, self.table.block_size - offset)
-            block = self.pool.get(self.table.block_ids[index])
+            block = self._writable_block(index)
             block.write(
                 layer_index,
                 offset,
@@ -257,11 +312,11 @@ class PagedKVCache:
         k_new = np.asarray(k_new, dtype=np.float32)
         v_new = np.asarray(v_new, dtype=np.float32)
         done = 0
-        for block_id in self.table.block_ids:
+        for index in range(len(self.table.block_ids)):
             if done >= self.n_context:
                 break
             take = min(self.table.block_size, self.n_context - done)
-            block = self.pool.get(block_id)
+            block = self._writable_block(index)
             block.write(layer_index, 0, k_new[done : done + take], v_new[done : done + take])
             done += take
         self._content_version += 1
@@ -269,7 +324,10 @@ class PagedKVCache:
     # -- packing -------------------------------------------------------------
 
     def pack_context(
-        self, encodings: list[tuple[TensorEncoding, TensorEncoding]]
+        self,
+        encodings: list[tuple[TensorEncoding, TensorEncoding]],
+        *,
+        first_block: int = 0,
     ) -> None:
         """Convert the context region's pages to packed quantized storage.
 
@@ -277,6 +335,11 @@ class PagedKVCache:
         layer, covering exactly the ``n_context`` leading tokens.  Each page
         overlapping the context packs its quantized rows per precision run;
         FP16-marked rows stay as float rows inside the page.
+
+        ``first_block`` skips the leading pages — a warm request whose
+        prefix matched the index adopted those pages already packed, so only
+        the unmatched tail is encoded and compacted (the encodings' code
+        rows below ``first_block * block_size`` may be blank).
 
         Every encoding must carry the *same* ``token_bits`` (the plan's
         per-token precision assignment): a page row's full-precision copy is
@@ -287,6 +350,8 @@ class PagedKVCache:
         self._check_writable()
         if self._packed:
             raise RuntimeError("context is already packed")
+        if not 0 <= first_block <= len(self.table.block_ids):
+            raise ValueError(f"first_block {first_block} outside the block table")
         if len(encodings) != self.n_layers:
             raise ValueError(f"expected {self.n_layers} layer encodings, got {len(encodings)}")
         reference_bits = encodings[0][0].token_bits if encodings else None
@@ -303,13 +368,13 @@ class PagedKVCache:
                         "compact rows another tensor still stores as floats)"
                     )
         bs = self.table.block_size
-        for index, block_id in enumerate(self.table.block_ids):
+        for index in range(first_block, len(self.table.block_ids)):
             start = index * bs
             if start >= self.n_context:
                 break
             stop = min(start + bs, self.n_context)
             rows = np.arange(stop - start, dtype=np.int64)
-            block = self.pool.get(block_id)
+            block = self._writable_block(index)
             bytes_before = block.storage_bytes()
             for layer_index, (k_enc, v_enc) in enumerate(encodings):
                 for tensor, enc in (("k", k_enc), ("v", v_enc)):
@@ -341,41 +406,63 @@ class PagedKVCache:
     # -- preemption: swap and release ----------------------------------------
 
     def swap_out(self) -> None:
-        """Detach every page to the host-side store, freeing pool capacity."""
+        """Detach exclusively-owned pages to the host store, freeing capacity.
+
+        Pages shared with other sequences or the prefix index (refcount
+        above one) stay resident: they are live storage of another reader,
+        and this sequence's reference alone keeps them addressable for the
+        later :meth:`swap_in`.  Only the private pages move to host memory.
+        """
         self._check_writable()
-        self._swapped_blocks = [
-            self.pool.swap_out(block_id) for block_id in self.table.block_ids
-        ]
+        state: list[tuple[str, Block | int]] = []
+        for block_id in self.table.block_ids:
+            if self.pool.refcount(block_id) > 1:
+                state.append(("pool", block_id))
+            else:
+                state.append(("host", self.pool.swap_out(block_id)))
+        self._swap_state = state
         self.table.block_ids = []
 
     def swap_in(self) -> None:
-        """Restore the swapped pages into the pool (fresh page ids).
+        """Restore the swapped pages into the pool (fresh ids for host pages).
 
         Capacity is checked up front so the restore is all-or-nothing: a
-        pool without room for every page raises before any page (or swap
-        counter) moves, leaving the cache swapped and retryable.
+        pool without room for every detached page raises before any page
+        (or swap counter) moves, leaving the cache swapped and retryable.
+        Shared pages that never left the pool are re-linked in place.
         """
         if self._released:
             raise RuntimeError("cache was released back to the pool")
         if not self.is_swapped:
             raise RuntimeError("cache is not swapped out")
-        blocks = self._swapped_blocks
-        if not self.pool.can_allocate(len(blocks)):
+        n_host = sum(1 for kind, _ in self._swap_state if kind == "host")
+        if not self.pool.can_allocate(n_host):
             raise PoolExhausted(
-                f"pool cannot hold the {len(blocks)} swapped pages of this sequence"
+                f"pool cannot hold the {n_host} swapped pages of this sequence"
             )
-        self.table.block_ids = [self.pool.swap_in(block) for block in blocks]
-        self._swapped_blocks = None
+        self.table.block_ids = [
+            entry if kind == "pool" else self.pool.swap_in(entry)
+            for kind, entry in self._swap_state
+        ]
+        self._swap_state = None
 
     def release(self) -> None:
-        """Free every page (or drop the swap copy); idempotent."""
+        """Return every page reference (or drop the swap copy); idempotent.
+
+        Shared pages survive as long as another sequence or the prefix
+        index still holds them — release only drops *this* sequence's
+        references.
+        """
         if self._released:
             return
         if self.is_swapped:
-            self._swapped_blocks = None
+            for kind, entry in self._swap_state:
+                if kind == "pool":
+                    self.pool.release(entry)
+            self._swap_state = None
         else:
             for block_id in self.table.block_ids:
-                self.pool.free(block_id)
+                self.pool.release(block_id)
         self.table.block_ids = []
         self._released = True
 
@@ -410,11 +497,13 @@ class PagedKVCache:
         bs = self.table.block_size
         context_bytes = self._shared_metadata_bytes if self._packed else 0
         generated_bytes = 0
-        blocks = (
-            self._swapped_blocks
-            if self.is_swapped
-            else [self.pool.get(bid) for bid in self.table.block_ids]
-        )
+        if self.is_swapped:
+            blocks = [
+                entry if kind == "host" else self.pool.get(entry)
+                for kind, entry in self._swap_state
+            ]
+        else:
+            blocks = [self.pool.get(bid) for bid in self.table.block_ids]
         for index, block in enumerate(blocks):
             start = index * bs
             ctx_rows = min(max(self.n_context - start, 0), bs)

@@ -294,11 +294,18 @@ def encode_per_token_groups(
     v: np.ndarray,
     token_bits: np.ndarray,
     group_size: int,
+    *,
+    start: int = 0,
 ) -> tuple[TensorEncoding, TensorEncoding]:
     """Encode context K/V with token-local quantization groups.
 
     Used by Cocktail (``group_size == head_dim``, mixed bits per token) and
     Atom (uniform bits).  Tokens marked FP16 stay as float rows.
+
+    ``start`` skips the quantization work for the leading rows: the groups
+    are token-local, so rows below ``start`` (matched by the prefix index
+    and adopted already packed) do not influence the codes of the rows
+    after them.  Their code rows are left blank.
     """
     token_bits = np.asarray(token_bits, dtype=np.int64)
     n_tokens, h, d = k.shape
@@ -316,7 +323,9 @@ def encode_per_token_groups(
             codes, meta = _blank_rows(n_tokens, codecs)
             for bits, codec in codecs.items():
                 mask = token_bits == bits
-                codes[mask], meta[mask] = codec.encode(tensor[mask])
+                mask[:start] = False
+                if mask.any():
+                    codes[mask], meta[mask] = codec.encode(tensor[mask])
         encodings.append(
             TensorEncoding(
                 n_tokens=n_tokens,
@@ -336,6 +345,8 @@ def encode_fitted(
     token_bits: np.ndarray,
     codec_cls,
     bits: BitWidth | int,
+    *,
+    start: int = 0,
 ) -> TensorEncoding:
     """Encode one tensor with a codec fitted on its quantized token rows.
 
@@ -343,6 +354,12 @@ def encode_fitted(
     constructor takes the quantized rows and exposes :meth:`take_codes`.
     FP16-marked rows (KVQuant outlier tokens) stay as float rows in their
     page.
+
+    The fit always covers **all** quantized rows — the shared scales /
+    codebooks depend on the full context, which is why these methods only
+    ever share pages between exact full-context repeats — but ``start``
+    blanks the code rows of the leading (already adopted) pages so they are
+    not materialised twice.
     """
     token_bits = np.asarray(token_bits, dtype=np.int64)
     n_tokens, h, d = tensor.shape
@@ -354,6 +371,7 @@ def encode_fitted(
         codecs = {int(codec.bits): codec}
         codes, meta = _blank_rows(n_tokens, codecs)
         codes[mask] = codec.take_codes()
+        codes[:start] = 0
     return TensorEncoding(
         n_tokens=n_tokens,
         n_kv_heads=h,

@@ -19,12 +19,24 @@ Accounting is *page-granular* for full-precision storage: an allocated
 block charges all ``block_size`` rows it reserves even when only some are
 filled.  That internal fragmentation is exactly what the analytic memory
 model cannot see and what the measured tables surface.
+
+Blocks are **reference counted**: :meth:`BlockPool.allocate` hands out a
+page with one reference, additional readers :meth:`~BlockPool.retain` it,
+and :meth:`~BlockPool.release` returns a reference — the page is only freed
+when the count reaches zero.  This is what lets the prefix index
+(:mod:`repro.kvpool.prefix`) and several concurrent sequences share one
+physical copy of a packed context page.  Writers that touch a shared page
+go through :meth:`~BlockPool.copy_on_write`; swap-out refuses shared pages
+outright (a live reader must never lose its storage).  Bounded pools can
+additionally register *reclaimers* — holders of pages nobody is actively
+reading (the prefix index's cached-but-idle pages) that can be asked to
+give pages back when an allocation would otherwise fail.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -38,6 +50,21 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
 
 class PoolExhausted(RuntimeError):
     """Raised when the pool has no free block to satisfy an allocation."""
+
+
+class BlockReclaimer(Protocol):
+    """A holder of idle pages a bounded pool can ask to give pages back.
+
+    The prefix index implements this: its cached pages are only reclaimable
+    while no sequence holds a reference to them, so reclaiming never evicts
+    a page under a live reader.
+    """
+
+    def reclaimable_blocks(self) -> int:
+        """How many pages this holder could free right now."""
+
+    def reclaim(self, n_blocks: int) -> int:
+        """Free up to ``n_blocks`` pages; returns how many were freed."""
 
 
 @dataclass
@@ -141,6 +168,21 @@ class Block:
         self.n_quantized_rows += int(rows.size)
         self.packed_upto = max(self.packed_upto, packed_upto)
 
+    def clone(self) -> "Block":
+        """Private deep copy of this page (the copy-on-write target).
+
+        Full-precision storage is copied; packed runs are immutable and can
+        be shared between the original and the clone.
+        """
+        copy = Block(self.n_layers, self.block_size, self.n_kv_heads, self.head_dim)
+        copy.fp_k = self.fp_k.copy()
+        copy.fp_v = self.fp_v.copy()
+        copy.packed_k = [list(runs) for runs in self.packed_k]
+        copy.packed_v = [list(runs) for runs in self.packed_v]
+        copy.n_quantized_rows = self.n_quantized_rows
+        copy.packed_upto = self.packed_upto
+        return copy
+
     # -- reads ---------------------------------------------------------------
 
     def gather(self, layer: int, n_rows: int) -> tuple[np.ndarray, np.ndarray]:
@@ -212,10 +254,13 @@ class BlockPool:
         self.block_size = block_size
         self.capacity_blocks = capacity_blocks
         self._blocks: dict[int, Block] = {}
+        self._refcounts: dict[int, int] = {}
+        self._reclaimers: list[BlockReclaimer] = []
         self._next_id = 0
         self._resident_bytes = 0
         self.n_swap_outs = 0
         self.n_swap_ins = 0
+        self.n_cow_copies = 0
         self.peak_allocated_blocks = 0
         self.peak_bytes = 0
 
@@ -268,10 +313,36 @@ class BlockPool:
             return None
         return self.capacity_blocks - len(self._blocks)
 
-    def can_allocate(self, n_blocks: int) -> bool:
-        """Whether ``n_blocks`` more pages fit right now."""
+    def reclaimable_blocks(self) -> int:
+        """Pages the registered reclaimers could give back right now."""
+        return sum(source.reclaimable_blocks() for source in self._reclaimers)
+
+    def available_blocks(self) -> int | None:
+        """Free pages plus reclaimable ones, or ``None`` for unbounded.
+
+        This is the number the scheduler budgets against: a page held only
+        by the prefix index is *available* — allocating simply reclaims it —
+        so idle cached pages never block admission or trigger preemption.
+        """
         free = self.n_free_blocks
-        return free is None or n_blocks <= free
+        if free is None:
+            return None
+        return free + self.reclaimable_blocks()
+
+    def can_allocate(self, n_blocks: int) -> bool:
+        """Whether ``n_blocks`` more pages fit right now (reclaiming if needed)."""
+        available = self.available_blocks()
+        return available is None or n_blocks <= available
+
+    def add_reclaimer(self, source: BlockReclaimer) -> None:
+        """Register a holder of idle pages to ask when the pool runs full."""
+        if source not in self._reclaimers:
+            self._reclaimers.append(source)
+
+    def refcount(self, block_id: int) -> int:
+        """Current reference count of an allocated page."""
+        self.get(block_id)  # raise uniformly on unknown ids
+        return self._refcounts[block_id]
 
     def get(self, block_id: int) -> Block:
         """The allocated page behind ``block_id``."""
@@ -300,26 +371,65 @@ class BlockPool:
 
     # -- allocation ----------------------------------------------------------
 
-    def allocate(self) -> int:
-        """Allocate one page; raises :class:`PoolExhausted` when full."""
-        if not self.can_allocate(1):
+    def _ensure_free_slot(self) -> None:
+        """Guarantee one raw free slot, reclaiming idle cached pages if needed."""
+        if self.n_free_blocks is None or self.n_free_blocks >= 1:
+            return
+        for source in self._reclaimers:
+            if source.reclaim(1 - (self.n_free_blocks or 0)) and self.n_free_blocks >= 1:
+                return
+        if self.n_free_blocks < 1:
             raise PoolExhausted(
                 f"pool is full ({self.capacity_blocks} blocks of {self.block_size} tokens)"
             )
+
+    def allocate(self) -> int:
+        """Allocate one page (refcount 1); raises :class:`PoolExhausted` when full."""
+        self._ensure_free_slot()
         block = Block(self.n_layers, self.block_size, self.n_kv_heads, self.head_dim)
         return self._attach(block)
 
-    def free(self, block_id: int) -> None:
-        """Return a page to the pool; freeing twice (or an unknown id) raises."""
+    def retain(self, block_id: int) -> int:
+        """Take one more reference on an allocated page; returns the new count."""
+        self.get(block_id)
+        self._refcounts[block_id] += 1
+        return self._refcounts[block_id]
+
+    def release(self, block_id: int) -> None:
+        """Return one reference; the page is freed when the count hits zero.
+
+        Releasing an unknown (or already-freed) id raises, preserving the
+        old ``free``-path double-free guard.
+        """
         if block_id not in self._blocks:
             raise ValueError(f"block {block_id} is not allocated (double free?)")
-        self._resident_bytes -= self._blocks[block_id].storage_bytes()
-        del self._blocks[block_id]
+        self._refcounts[block_id] -= 1
+        if self._refcounts[block_id] == 0:
+            self._resident_bytes -= self._blocks[block_id].storage_bytes()
+            del self._blocks[block_id]
+            del self._refcounts[block_id]
+
+    def copy_on_write(self, block_id: int) -> int:
+        """Give the caller a private copy of a shared page.
+
+        When the page is exclusively owned (refcount 1) it is returned
+        unchanged; otherwise one reference is returned and a deep copy is
+        attached under a fresh id.  The caller must swap the returned id
+        into its block table before writing.
+        """
+        if self.refcount(block_id) == 1:
+            return block_id
+        clone = self.get(block_id).clone()
+        self._ensure_free_slot()
+        self._refcounts[block_id] -= 1
+        self.n_cow_copies += 1
+        return self._attach(clone)
 
     def _attach(self, block: Block) -> int:
         block_id = self._next_id
         self._next_id += 1
         self._blocks[block_id] = block
+        self._refcounts[block_id] = 1
         self._resident_bytes += block.storage_bytes()
         self.peak_allocated_blocks = max(self.peak_allocated_blocks, len(self._blocks))
         self.peak_bytes = max(self.peak_bytes, self._resident_bytes)
@@ -328,20 +438,46 @@ class BlockPool:
     # -- swap ----------------------------------------------------------------
 
     def swap_out(self, block_id: int) -> Block:
-        """Detach a page to host memory, freeing its pool slot."""
+        """Detach an exclusively-owned page to host memory, freeing its slot.
+
+        Shared pages (refcount > 1) are refused: another sequence or the
+        prefix index is still reading them, and evicting storage under a
+        live reader would corrupt it.  Callers keep shared pages resident
+        and swap only their private tail.
+        """
+        if self.refcount(block_id) > 1:
+            raise ValueError(
+                f"block {block_id} is shared ({self.refcount(block_id)} refs); "
+                "only exclusively-owned pages can be swapped out"
+            )
         block = self.get(block_id)
-        self.free(block_id)
+        self.release(block_id)
         self.n_swap_outs += 1
         return block
 
     def swap_in(self, block: Block) -> int:
-        """Re-attach a host-side page under a fresh id."""
+        """Re-attach a host-side page under a fresh id (refcount 1)."""
         if block.block_size != self.block_size or block.n_layers != self.n_layers:
             raise ValueError("swapped block geometry does not match this pool")
-        if not self.can_allocate(1):
-            raise PoolExhausted("pool is full; cannot swap the block back in")
+        self._ensure_free_slot()
         self.n_swap_ins += 1
         return self._attach(block)
+
+    # -- invariants ----------------------------------------------------------
+
+    def assert_consistent(self) -> None:
+        """Cheap structural invariants, asserted by the stress tests.
+
+        Every allocated page has a positive refcount, the refcount map and
+        the block map agree, the incremental byte counter matches a fresh
+        walk over the pages, and a bounded pool never exceeds its capacity.
+        """
+        assert set(self._blocks) == set(self._refcounts)
+        assert all(count >= 1 for count in self._refcounts.values())
+        walked = sum(block.storage_bytes() for block in self._blocks.values())
+        assert walked == self._resident_bytes
+        if self.capacity_blocks is not None:
+            assert len(self._blocks) <= self.capacity_blocks
 
 
 def pack_block_runs(

@@ -129,6 +129,10 @@ class PreparedSequence:
         Optional measured-memory probe; returns the sequence's current
         resident KV bytes breakdown (see
         :meth:`repro.kvpool.cache.PagedKVCache.measured_bytes`).
+    cached_tokens, cache_hit_blocks, cached_bytes:
+        Prefix-reuse outcome of this preparation: context tokens / pool
+        pages adopted from the engine's prefix index and the measured bytes
+        of those pages (prefill storage the request did not re-create).
     """
 
     session: DecodeSession
@@ -141,6 +145,9 @@ class PreparedSequence:
     swap_in: Callable[[], None] | None = None
     release: Callable[[], None] | None = None
     kv_bytes: Callable[[], dict] | None = None
+    cached_tokens: int = 0
+    cache_hit_blocks: int = 0
+    cached_bytes: int = 0
 
     @property
     def supports_swap(self) -> bool:
@@ -199,6 +206,19 @@ class DecodeBackend(abc.ABC):
     def prepare(self, request: "GenerationRequest") -> PreparedSequence:
         """Prefill, plan/apply quantization and return the decode session."""
 
+    def probe_cached_blocks(self, request: "GenerationRequest") -> int:
+        """Estimate how many pool pages a request would adopt from the
+        prefix index (admission-cost hint; 0 when the backend cannot tell).
+
+        The scheduler subtracts this from the page demand it charges at
+        admission, so a warm repeated-context request is not blocked on
+        capacity it will never allocate.  The estimate is optimistic by
+        design — entries may be evicted before ``prepare`` runs — and the
+        engine's preemption machinery corrects any overshoot.
+        """
+        del request
+        return 0
+
 
 class QuantizedDenseBackend(DecodeBackend):
     """Fake-quantize the context cache, then decode on the standard path.
@@ -220,6 +240,13 @@ class QuantizedDenseBackend(DecodeBackend):
         self.name = name or quantizer.name
 
     def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+        prefix_cache = self.engine.prefix_cache
+        if prefix_cache is not None and prefix_cache.n_blocks > 0:
+            # Only when the index holds pages that could possibly match is
+            # the scratch-prefill adoption path worth its extra row copy; a
+            # cold engine prefills straight into the pool below and merely
+            # *publishes* its pages afterwards.
+            return self._prepare_with_prefix_cache(request)
         cache, first_logits, prompt = self._prefill(request)
         try:
             qrequest = build_quantization_request(
@@ -237,6 +264,8 @@ class QuantizedDenseBackend(DecodeBackend):
                     self.quantizer.apply(cache, plan)
                 else:
                     cache.pack_context(encodings)
+                if prefix_cache is not None:
+                    self._publish(prompt, plan, cache)
             else:
                 self.quantizer.apply(cache, plan)
         except Exception:
@@ -255,6 +284,133 @@ class QuantizedDenseBackend(DecodeBackend):
             n_prompt_tokens=len(prompt),
             n_context_tokens=len(request.context_words),
             live_tokens=cache.live_tokens,
+            **_paged_hooks(cache),
+        )
+
+    def _plan_request(self, request: "GenerationRequest", cache):
+        """Run this method's quantization planning for one request."""
+        qrequest = build_quantization_request(
+            request.context_words,
+            request.query_words,
+            self.engine.chunk_size,
+            cache,
+        )
+        return self.quantizer.plan(qrequest)
+
+    def _reuse_keys(self, plan, context_ids) -> tuple[str | None, list[str]]:
+        """The (fingerprint, chained block hashes) pair of one planned request."""
+        from repro.kvpool.prefix import block_hashes
+
+        fingerprint = self.quantizer.reuse_fingerprint(plan, context_ids)
+        if fingerprint is None:
+            return None, []
+        return fingerprint, block_hashes(
+            fingerprint, context_ids, plan.token_bits, self.engine.pool.block_size
+        )
+
+    def _publish(self, prompt: list[int], plan, cache: PagedKVCache) -> None:
+        """Insert a freshly packed request's full-context pages into the index."""
+        context_ids = prompt[: cache.n_context]
+        fingerprint, hashes = self._reuse_keys(plan, context_ids)
+        if fingerprint is not None:
+            self.engine.prefix_cache.insert(
+                fingerprint, hashes, cache.table.block_ids[: len(hashes)]
+            )
+
+    def probe_cached_blocks(self, request: "GenerationRequest") -> int:
+        """Peek the prefix index with a cache-free plan (no state touched)."""
+        prefix_cache = self.engine.prefix_cache
+        if prefix_cache is None or prefix_cache.n_blocks == 0:
+            return 0  # nothing can match; skip the duplicate planning work
+        prompt = prompt_token_ids(
+            self.tokenizer, request.context_words, request.query_words
+        )
+        context_ids = prompt[: len(request.context_words)]
+        try:
+            plan = self._plan_request(request, None)
+        except Exception:
+            # Planners that need the prefilled cache (KVQuant's outlier
+            # ranking) cannot be probed ahead of prefill; charge full cost.
+            return 0
+        fingerprint, hashes = self._reuse_keys(plan, context_ids)
+        if fingerprint is None:
+            return 0
+        return prefix_cache.peek(fingerprint, hashes)
+
+    def _prepare_with_prefix_cache(self, request: "GenerationRequest") -> PreparedSequence:
+        """Prefill once at full precision, then adopt every matched page.
+
+        Bit-exactness constraint: prefill attends over the full-precision
+        K/V of the whole prompt, while the index stores *quantized* pages —
+        so the prefill runs into a private dense scratch cache (same
+        numerics as the reference path) and only the storage is assembled
+        from shared pages + freshly written unmatched rows.  The decode
+        phase then sees exactly the pages the cold path would have built:
+        matched pages byte-identical by construction of the hash chain,
+        unmatched rows packed from the same deterministic encodings.
+        """
+        engine = self.engine
+        prefix_cache = engine.prefix_cache
+        pool = engine.pool
+        n_context = len(request.context_words)
+        prompt = prompt_token_ids(
+            self.tokenizer, request.context_words, request.query_words
+        )
+        context_ids = prompt[:n_context]
+        scratch = self.model.new_cache()
+        first_logits = self.model.prefill(prompt, scratch)
+        scratch.mark_context(n_context)
+        plan = self._plan_request(request, scratch)
+        fingerprint, hashes = self._reuse_keys(plan, context_ids)
+        cache = engine.new_kv_cache()
+        try:
+            matched_ids = prefix_cache.match(fingerprint, hashes) if hashes else []
+            matched_tokens = len(matched_ids) * pool.block_size
+            cached_bytes = sum(
+                pool.get(block_id).storage_bytes() for block_id in matched_ids
+            )
+            cache.adopt_blocks(matched_ids, matched_tokens)
+            encodings = self.quantizer.encode_context(
+                scratch, plan, start=matched_tokens
+            )
+            if encodings is None:
+                # No packed encoder: materialise the fake-quant floats in the
+                # scratch cache so the copied pages hold what decode reads.
+                self.quantizer.apply(scratch, plan)
+            for layer_index, layer in enumerate(scratch.layers):
+                cache.append_layer(
+                    layer_index,
+                    layer.keys()[matched_tokens:],
+                    layer.values()[matched_tokens:],
+                )
+            cache.mark_context(n_context)
+            if encodings is not None:
+                cache.pack_context(
+                    encodings, first_block=matched_tokens // pool.block_size
+                )
+            if fingerprint is not None:
+                prefix_cache.insert(
+                    fingerprint, hashes, cache.table.block_ids[: len(hashes)]
+                )
+        except Exception:
+            _release_cache(cache)
+            raise
+        session = self.model.decode_session(
+            cache,
+            first_logits,
+            max_new_tokens=request.max_new_tokens,
+            stop_ids=self._stop_ids(request),
+            sampler=request.sampling.build_sampler(),
+        )
+        return PreparedSequence(
+            session=session,
+            plan=plan,
+            n_prompt_tokens=len(prompt),
+            n_context_tokens=n_context,
+            live_tokens=cache.live_tokens,
+            cached_tokens=matched_tokens,
+            cache_hit_blocks=len(matched_ids),
+            cached_bytes=cached_bytes,
             **_paged_hooks(cache),
         )
 

@@ -32,6 +32,7 @@ from repro.core.quantizer import CocktailQuantizer
 from repro.baselines.base import KVCacheQuantizer
 from repro.hardware.gpu import GPUSpec
 from repro.kvpool.pool import BlockPool, PoolExhausted
+from repro.kvpool.prefix import PrefixCache
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
 from repro.retrieval.base import Encoder
@@ -47,6 +48,12 @@ from repro.serving.scheduler import (
     SequenceState,
     terminal_event,
 )
+
+
+#: Prefix-index retention cap applied when the pool is *unbounded*: without
+#: it, a long-lived engine serving ever-new documents would retain packed
+#: pages forever (bounded pools need no cap — pressure reclaims idle pages).
+DEFAULT_PREFIX_CACHE_BLOCKS = 4096
 
 
 class InferenceEngine:
@@ -93,6 +100,22 @@ class InferenceEngine:
         and restores them on re-admission — no recompute; ``"recompute"``
         always drops the prepared state and replays from scratch.  Backends
         without swap support fall back to recompute either way.
+    prefix_caching:
+        ``True`` (default on paged engines) maintains a
+        :class:`~repro.kvpool.prefix.PrefixCache` over the pool: a
+        request whose leading context pages were already packed by an
+        earlier request *adopts* those shared pages (ref-counted,
+        copy-on-write) instead of allocating and re-quantizing them, and
+        reports the reuse via ``RequestStats.cached_tokens`` /
+        ``cache_hit_blocks``.  Decoded outputs are bit-identical with the
+        cache on or off.  Pass ``False`` to disable; dense engines have no
+        pool and force it off.
+    prefix_cache_blocks:
+        Cap on pages retained by the prefix index (LRU-evicted beyond it).
+        Bounded pools also reclaim idle index pages on demand, so the cap
+        mainly bounds an *unbounded* pool's growth — which is why unbounded
+        pools default to :data:`DEFAULT_PREFIX_CACHE_BLOCKS` instead of
+        ``None`` (pass an explicit value to change it).
     clock:
         Monotonic time source for the per-request stats (test hook).
     """
@@ -115,6 +138,8 @@ class InferenceEngine:
         block_size: int = 16,
         max_live_blocks: int | None = None,
         preemption: str = "swap",
+        prefix_caching: bool | None = None,
+        prefix_cache_blocks: int | None = None,
         clock: Callable[[], float] = time.perf_counter,
     ):
         if kv_cache not in ("paged", "dense"):
@@ -152,6 +177,23 @@ class InferenceEngine:
                 )
         elif pool is not None or gpu is not None or max_live_blocks is not None:
             raise ValueError("pool/gpu/max_live_blocks require kv_cache='paged'")
+        if prefix_caching and self.pool is None:
+            raise ValueError("prefix_caching requires kv_cache='paged'")
+        if prefix_caching is None:
+            prefix_caching = self.pool is not None
+        if prefix_cache_blocks is not None and not prefix_caching:
+            raise ValueError("prefix_cache_blocks requires prefix caching")
+        if (
+            prefix_caching
+            and prefix_cache_blocks is None
+            and self.pool.capacity_blocks is None
+        ):
+            prefix_cache_blocks = DEFAULT_PREFIX_CACHE_BLOCKS
+        self.prefix_cache: PrefixCache | None = (
+            PrefixCache(self.pool, max_blocks=prefix_cache_blocks)
+            if prefix_caching
+            else None
+        )
         self.scheduler = ContinuousBatchingScheduler(
             max_running=max_running,
             max_live_tokens=max_live_tokens,
@@ -220,9 +262,13 @@ class InferenceEngine:
         rid = request.request_id
         if rid in self._states or rid in self._results:
             raise ValueError(f"duplicate request_id {rid!r}")
-        self.get_backend(request.backend)  # fail fast on unknown backends
+        backend = self.get_backend(request.backend)  # fail fast on unknown backends
         state = SequenceState(request=request)
         state.stats.submitted_at = self._clock()
+        if self.prefix_cache is not None:
+            # Admission hint: pages the index would serve — the scheduler
+            # charges only the blocks this request will actually allocate.
+            state.cached_blocks_hint = backend.probe_cached_blocks(request)
         self._states[rid] = state
         self.scheduler.enqueue(state)
         return rid
@@ -338,6 +384,9 @@ class InferenceEngine:
             prepared.session.advance()
             state.stats.n_decode_steps += 1
         state.prepared = prepared
+        state.stats.cached_tokens = prepared.cached_tokens
+        state.stats.cache_hit_blocks = prepared.cache_hit_blocks
+        state.stats.cached_bytes = prepared.cached_bytes
         if state.stats.scheduled_at is None:
             state.stats.scheduled_at = self._clock()
         self.scheduler.mark_running(state)

@@ -148,6 +148,14 @@ class RequestStats:
     n_swap_outs: int = 0
     #: Swapped pages restored on re-admission (no recompute performed).
     n_swap_ins: int = 0
+    #: Context tokens served from the engine's prefix index: their packed
+    #: pages were adopted instead of allocated, written and re-quantized.
+    cached_tokens: int = 0
+    #: Shared pool pages this request adopted from the prefix index.
+    cache_hit_blocks: int = 0
+    #: Measured bytes of the adopted pages — prefill storage the request
+    #: did not have to create.
+    cached_bytes: int = 0
 
     @property
     def queue_seconds(self) -> float | None:

@@ -45,6 +45,10 @@ class SequenceState:
     #: (set by swap preemption; cleared when the pages are restored).
     swapped: bool = False
     finished: bool = False
+    #: Pool pages the prefix index expects to serve for this request
+    #: (admission hint set at submit time; the scheduler charges only the
+    #: *new* pages a request will actually allocate).
+    cached_blocks_hint: int = 0
 
     @property
     def request_id(self) -> str:
@@ -150,15 +154,25 @@ class ContinuousBatchingScheduler:
         :meth:`over_budget` watermark after admission, so a newcomer is
         never admitted only to be swap-preempted in the same step, and a
         transiently full pool cannot truncate a sequence mid-generation.
+
+        Pages the prefix index already holds for this request
+        (``cached_blocks_hint``) are not charged: adopting a shared page
+        allocates nothing, so a warm repeated-context request is admitted
+        into headroom a cold one would not fit.
         """
         if self.pool is None:
             return True
         needed = self._blocks_for(state.admission_tokens())
+        needed = max(0, needed - state.cached_blocks_hint)
         if not self.pool.can_allocate(needed + len(self.running) + 1):
             return False
         if self.max_live_blocks is not None:
-            return self.pool.n_allocated + needed <= self.max_live_blocks
+            return self._charged_blocks() + needed <= self.max_live_blocks
         return True
+
+    def _charged_blocks(self) -> int:
+        """Allocated pages minus reclaimable idle prefix-index pages."""
+        return self.pool.n_allocated - self.pool.reclaimable_blocks()
 
     def next_to_admit(self) -> SequenceState | None:
         """Head of the waiting queue, if it fits right now (FIFO only).
@@ -213,10 +227,12 @@ class ContinuousBatchingScheduler:
         if self.pool is not None:
             if (
                 self.max_live_blocks is not None
-                and self.pool.n_allocated > self.max_live_blocks
+                and self._charged_blocks() > self.max_live_blocks
             ):
                 return True
-            free = self.pool.n_free_blocks
+            # Idle prefix-index pages count as available: allocating under
+            # pressure reclaims them, so they must not trigger preemption.
+            free = self.pool.available_blocks()
             if free is not None and free < len(self.running) and len(self.running) > 1:
                 # Each running sequence may need a fresh page within
                 # block_size steps; preempt before allocation fails.

@@ -40,9 +40,9 @@ class TestBlockPool:
         b = pool.allocate()
         assert pool.n_allocated == 2 and pool.n_free_blocks == 0
         assert not pool.can_allocate(1)
-        pool.free(a)
+        pool.release(a)
         assert pool.n_free_blocks == 1 and pool.can_allocate(1)
-        pool.free(b)
+        pool.release(b)
         assert pool.n_allocated == 0
 
     def test_exhaustion_raises(self):
@@ -54,11 +54,11 @@ class TestBlockPool:
     def test_double_free_raises(self):
         pool = make_pool()
         block_id = pool.allocate()
-        pool.free(block_id)
+        pool.release(block_id)
         with pytest.raises(ValueError, match="double free"):
-            pool.free(block_id)
+            pool.release(block_id)
         with pytest.raises(ValueError, match="not allocated"):
-            pool.free(12345)
+            pool.release(12345)
 
     def test_unbounded_pool_grows(self):
         pool = make_pool(capacity_blocks=None)
@@ -73,14 +73,14 @@ class TestBlockPool:
         assert pool.get(block_id).storage_bytes() == BS * row_bytes
         assert pool.allocated_bytes() == BS * row_bytes
         assert pool.reserved_tokens() == BS
-        pool.free(block_id)
+        pool.release(block_id)
         assert pool.allocated_bytes() == 0
 
     def test_peak_tracking(self):
         pool = make_pool()
         ids = [pool.allocate() for _ in range(3)]
         for block_id in ids:
-            pool.free(block_id)
+            pool.release(block_id)
         assert pool.peak_allocated_blocks == 3
         assert pool.peak_bytes > 0 and pool.allocated_bytes() == 0
 

@@ -136,8 +136,125 @@ class TestPagedDenseParity:
             for sample, backend in zip(tiny_samples, ("dense", "blockwise", "kivi", "fp16"))
         ]
         engine.run_batch(requests)
+        # The prefix index retains each request's full-context pages for
+        # later warm traffic; everything else went back to the pool.
+        assert engine.pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
         assert engine.pool.n_allocated == 0
         assert engine.pool.peak_allocated_blocks > 0
+
+
+class TestPrefixCachingParity:
+    """Cross-request reuse is a pure storage change, like the pool itself.
+
+    With prefix caching enabled, repeated-context traffic must decode
+    bit-identically to the caching-off engine while a warm second request
+    measurably adopts pages instead of allocating them.
+    """
+
+    #: Backends that serve decode out of pool context pages and therefore
+    #: participate in prefix reuse (blockwise moves its context into
+    #: chunked off-pool segments and releases the prefill pages instead).
+    REUSE_BACKENDS = ("dense", "cocktail", "fp16", "atom", "kivi", "kvquant")
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_warm_request_bit_identical_on_vs_off(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, backend
+    ):
+        sample = tiny_samples[0]
+
+        def repeated(engine):
+            return [
+                engine.run(
+                    GenerationRequest(
+                        sample.context_words,
+                        sample.query_words,
+                        max_new_tokens=6,
+                        backend=backend,
+                    )
+                )
+                for _ in range(2)
+            ]
+
+        on = repeated(
+            make_engine(vocab, tokenizer, retrieval_model, "paged", prefix_caching=True)
+        )
+        off = repeated(
+            make_engine(
+                vocab, tokenizer, retrieval_model, "paged", prefix_caching=False
+            )
+        )
+        for got, want in zip(on, off):
+            assert got.token_ids == want.token_ids
+            assert got.answer_text == want.answer_text
+            assert got.stopped_by == want.stopped_by
+        if backend in self.REUSE_BACKENDS:
+            # The warm second request was served from the prefix index.
+            assert on[1].stats.cache_hit_blocks > 0
+            assert on[1].stats.cached_tokens > 0
+            assert on[1].stats.cached_bytes > 0
+            assert on[0].stats.cache_hit_blocks == 0
+        assert all(r.stats.cache_hit_blocks == 0 for r in off)
+
+    def test_warm_request_allocates_fewer_new_blocks(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """Acceptance: reuse shows up in the pool, not just the stats."""
+        sample = tiny_samples[0]
+        engine = make_engine(vocab, tokenizer, retrieval_model, "paged")
+        pool = engine.pool
+
+        def run_once():
+            allocated_before = pool._next_id
+            result = engine.run(
+                GenerationRequest(
+                    sample.context_words,
+                    sample.query_words,
+                    max_new_tokens=4,
+                    backend="dense",
+                )
+            )
+            return result, pool._next_id - allocated_before
+
+        cold, cold_new = run_once()
+        warm, warm_new = run_once()
+        assert warm.token_ids == cold.token_ids
+        # Every matched page is a page the warm request never allocated.
+        assert warm_new == cold_new - warm.stats.cache_hit_blocks
+        assert warm_new < cold_new
+
+    def test_dense_and_cocktail_share_pages(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        """Both Cocktail execution entries share one fingerprint: a context
+        packed via the 'dense' backend warms a 'cocktail' request."""
+        sample = tiny_samples[2]
+        engine = make_engine(vocab, tokenizer, retrieval_model, "paged")
+        engine.run(
+            GenerationRequest(
+                sample.context_words, sample.query_words, max_new_tokens=3, backend="dense"
+            )
+        )
+        warm = engine.run(
+            GenerationRequest(
+                sample.context_words,
+                sample.query_words,
+                max_new_tokens=3,
+                backend="cocktail",
+            )
+        )
+        assert warm.stats.cache_hit_blocks > 0
+
+    def test_serving_table_reports_hits_and_saved_bytes(self):
+        table = serving_stats_table(
+            n_requests=2,
+            methods=("dense", "fp16"),
+            max_new_tokens=3,
+            repeats=2,
+        )
+        for row in ("dense", "FP16"):
+            assert table.get(row, "hit blocks") > 0
+            assert table.get(row, "saved B") > 0
 
 
 class TestMeasuredBytes:

@@ -1,0 +1,287 @@
+"""Randomized serving stress: pool invariants under chaotic scheduling.
+
+Hundreds of interleaved submit / decode / preempt / swap / finish steps are
+driven through a deliberately starved engine (tiny bounded pool, tight
+token budget, prefix reuse on, shared documents so requests collide on the
+same pages) while structural invariants are asserted at **every** step:
+
+* no leaks and no double frees — the pool's refcount map, block map and
+  incremental byte counter stay consistent (``BlockPool.assert_consistent``
+  recomputes the walk);
+* shared pages are never evicted or swapped under a live reader;
+* the prefix index only ever references allocated pages;
+* at drain every refcount hits zero: after clearing the index,
+  ``allocated_bytes()`` returns to 0.
+
+Decoded outputs must additionally be bit-identical to an unconstrained
+reference engine — preemption, swap round-trips and page sharing are pure
+storage behaviours.
+
+CI runs this file standalone under a fixed seed matrix (see the workflow);
+the seeds below keep the default suite fast while staying deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.kvpool import BlockPool, PagedKVCache, PrefixCache, block_hashes
+from repro.kvpool.pool import PoolExhausted
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest
+
+SEEDS = (0, 1, 2)
+
+N_LAYERS, H, D, BS = 2, 2, 8, 8
+
+
+class TestPoolLevelStress:
+    """Pure allocator fuzz: random retain/release/COW/swap against a mirror."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_ops_keep_pool_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = BlockPool(N_LAYERS, H, D, block_size=BS, capacity_blocks=24)
+        refs: dict[int, int] = {}  # block_id -> references we hold
+        swapped = []
+
+        def spend_ref():
+            candidates = [b for b, n in refs.items() if n > 0]
+            return int(rng.choice(candidates)) if candidates else None
+
+        for _ in range(400):
+            op = rng.random()
+            if op < 0.35:
+                try:
+                    block_id = pool.allocate()
+                    refs[block_id] = 1
+                except PoolExhausted:
+                    assert pool.n_free_blocks == 0
+            elif op < 0.5:
+                if (block_id := spend_ref()) is not None:
+                    pool.retain(block_id)
+                    refs[block_id] += 1
+            elif op < 0.75:
+                if (block_id := spend_ref()) is not None:
+                    pool.release(block_id)
+                    refs[block_id] -= 1
+                    if refs[block_id] == 0:
+                        del refs[block_id]
+                        with pytest.raises(ValueError):
+                            pool.release(block_id)  # double free must raise
+            elif op < 0.85:
+                if (block_id := spend_ref()) is not None:
+                    shared = pool.refcount(block_id) > 1
+                    if shared and not pool.can_allocate(1):
+                        with pytest.raises(PoolExhausted):
+                            pool.copy_on_write(block_id)
+                    else:
+                        new_id = pool.copy_on_write(block_id)
+                        if shared:
+                            assert new_id != block_id
+                            refs[block_id] -= 1
+                            refs[new_id] = 1
+                        else:
+                            assert new_id == block_id
+            elif op < 0.93:
+                exclusive = [b for b, n in refs.items() if n == 1 and pool.refcount(b) == 1]
+                if exclusive:
+                    block_id = int(rng.choice(exclusive))
+                    swapped.append(pool.swap_out(block_id))
+                    del refs[block_id]
+                shared = [b for b in refs if pool.refcount(b) > 1]
+                if shared:
+                    with pytest.raises(ValueError, match="shared"):
+                        pool.swap_out(int(rng.choice(shared)))
+            elif swapped and pool.n_free_blocks:
+                refs[pool.swap_in(swapped.pop())] = 1
+            pool.assert_consistent()
+            for block_id, count in refs.items():
+                assert pool.refcount(block_id) == count
+
+        for block_id, count in list(refs.items()):
+            for _ in range(count):
+                pool.release(block_id)
+        assert pool.n_allocated == 0
+        assert pool.allocated_bytes() == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_index_traffic_under_bounded_pool(self, seed):
+        """Insert/match/evict cycles with live readers on a tiny pool."""
+        rng = np.random.default_rng(seed)
+        pool = BlockPool(N_LAYERS, H, D, block_size=BS, capacity_blocks=16)
+        index = PrefixCache(pool)
+        documents = [
+            [int(t) for t in rng.integers(0, 50, size=3 * BS)] for _ in range(4)
+        ]
+        live: list[PagedKVCache] = []
+        for _ in range(150):
+            action = rng.random()
+            if action < 0.5 and pool.can_allocate(3):
+                doc = documents[int(rng.integers(len(documents)))]
+                bits = np.full(len(doc), 16)
+                hashes = block_hashes("stress", doc, bits, BS)
+                cache = PagedKVCache(pool, capacity=4 * BS)
+                matched = index.match("stress", hashes)
+                cache.adopt_blocks(matched, len(matched) * BS)
+                missing = len(doc) - cache.length
+                rows = rng.normal(size=(missing, H, D)).astype(np.float32)
+                for layer in range(N_LAYERS):
+                    cache.append_layer(layer, rows, rows)
+                index.insert("stress", hashes, cache.table.block_ids[: len(hashes)])
+                live.append(cache)
+            elif action < 0.8 and live:
+                live.pop(int(rng.integers(len(live)))).release()
+            else:
+                index.evict(int(rng.integers(1, 4)))
+            pool.assert_consistent()
+            index.assert_consistent()
+        for cache in live:
+            cache.release()
+        index.clear()
+        assert pool.n_allocated == 0 and pool.allocated_bytes() == 0
+
+
+class TestEngineStress:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaotic_serving_with_prefix_reuse(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, seed
+    ):
+        rng = np.random.default_rng(seed)
+        config = retrieval_model.config
+        pool = BlockPool(
+            config.n_layers,
+            config.n_kv_heads,
+            config.head_dim,
+            block_size=16,
+            capacity_blocks=13,  # ~2 sequences' worth: constant pressure
+        )
+        engine = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+            max_running=3,
+            pool=pool,
+            # Two prompts fit, the third round of decode rows does not: the
+            # token budget guarantees preemption traffic on every seed.
+            max_live_tokens=132,
+            preemption="swap" if seed % 2 == 0 else "recompute",
+        )
+        backends = ("dense", "fp16", "kivi", "blockwise")
+        # Shared-document traffic: few documents, many requests.
+        pending = [
+            GenerationRequest(
+                tiny_samples[i % 2].context_words[:56],
+                tiny_samples[i % 2].query_words,
+                max_new_tokens=6,
+                backend=backends[i % len(backends)],
+            )
+            for i in range(10)
+        ]
+        reference_engine = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+        )
+        references = {}
+        for request in pending:
+            key = (request.context_words, request.query_words, request.backend)
+            if key not in references:
+                result = reference_engine.run(
+                    GenerationRequest(
+                        request.context_words,
+                        request.query_words,
+                        max_new_tokens=6,
+                        backend=request.backend,
+                    ),
+                    pop=True,
+                )
+                references[key] = (result.token_ids, result.stopped_by)
+
+        submitted = []
+        n_steps = 0
+        while pending or engine.has_pending:
+            n_steps += 1
+            if pending and (rng.random() < 0.5 or not engine.has_pending):
+                request = pending.pop()
+                submitted.append((engine.submit(request), request))
+            engine.step()
+            pool.assert_consistent()
+            engine.prefix_cache.assert_consistent()
+            assert pool.n_allocated <= 13
+        assert n_steps > 20  # genuinely interleaved, not one mega-batch
+
+        total_preemptions = 0
+        for rid, request in submitted:
+            result = engine.result(rid, pop=True)
+            key = (request.context_words, request.query_words, request.backend)
+            assert (result.token_ids, result.stopped_by) == references[key]
+            total_preemptions += result.stats.n_preemptions
+        # Under this much pressure the schedule must actually have preempted
+        # (otherwise the stress proves nothing).
+        assert total_preemptions >= 1
+
+        # Drain: every refcount hits zero once the index lets go.
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
+        assert pool.n_allocated == 0
+        assert pool.allocated_bytes() == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outputs_survive_the_chaos_bit_identical(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, seed
+    ):
+        """Same pressure cooker, but checking every decoded stream."""
+        rng = np.random.default_rng(seed + 100)
+        config = retrieval_model.config
+        pool = BlockPool(
+            config.n_layers,
+            config.n_kv_heads,
+            config.head_dim,
+            block_size=16,
+            capacity_blocks=20,
+        )
+        engine = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+            max_running=2,
+            pool=pool,
+        )
+        sample = tiny_samples[int(rng.integers(len(tiny_samples)))]
+        requests = [
+            GenerationRequest(
+                sample.context_words[:48],
+                sample.query_words,
+                max_new_tokens=4,
+                backend=backend,
+            )
+            for backend in ("dense", "fp16", "dense", "kivi")
+        ]
+        reference = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+            prefix_caching=False,
+        ).run_batch(
+            [
+                GenerationRequest(
+                    r.context_words, r.query_words, max_new_tokens=4, backend=r.backend
+                )
+                for r in requests
+            ]
+        )
+        results = engine.run_batch(requests)
+        for got, want in zip(results, reference):
+            assert got.token_ids == want.token_ids
+            assert got.stopped_by == want.stopped_by
+        # The repeated-document requests hit the index even mid-pressure.
+        assert any(r.stats.cache_hit_blocks > 0 for r in results)
+        engine.prefix_cache.clear()
+        assert pool.allocated_bytes() == 0

@@ -160,6 +160,9 @@ class TestSwapPreemption:
                     swapped_pages.append(state.live_tokens())
         assert swapped_pages and all(pages == 0 for pages in swapped_pages)
         assert engine.pool.n_swap_outs >= 1
+        # Only the prefix index's retained context pages stay allocated.
+        assert engine.pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
         assert engine.pool.n_allocated == 0
 
     @pytest.mark.parametrize("capacity_blocks", (7, 9))
@@ -207,6 +210,8 @@ class TestSwapPreemption:
         for got, want in zip(results, reference):
             assert got.token_ids == want.token_ids
             assert got.stopped_by == want.stopped_by
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
         assert pool.n_allocated == 0
 
     def test_invalid_modes_rejected(self, vocab, tokenizer, retrieval_model):
