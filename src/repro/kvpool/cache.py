@@ -137,6 +137,12 @@ class PagedKVCache:
         #: every decode step; without the memo each step would materialise
         #: and dequantize the full context twice per layer.
         self._gather_memo: dict[int, tuple[int, int, tuple[np.ndarray, np.ndarray]]] = {}
+        #: Per-layer memo of the gathered context-region pages, keyed by the
+        #: exact ``(block_id, Block.version)`` tuple of the covered pages —
+        #: see :meth:`gather_context`.
+        self._context_memo: dict[
+            int, tuple[tuple[tuple[int, int], ...], tuple[np.ndarray, np.ndarray]]
+        ] = {}
         self._content_version = 0
 
     # -- geometry ------------------------------------------------------------
@@ -167,6 +173,16 @@ class PagedKVCache:
         if self._released or self.is_swapped or self.length >= self.capacity:
             return False
         return self.length < self.table.reserved_tokens() or self.pool.can_allocate(1)
+
+    def next_token_block_cost(self) -> int:
+        """Pool pages the *next* decode token will newly allocate (0 or 1).
+
+        The batched decode round reserves this many pages between a
+        sequence's capacity check and its deferred fused forward, so later
+        sequences in the round observe the same pool availability the
+        sequential check-then-allocate interleaving would produce.
+        """
+        return 1 if self.length >= self.table.reserved_tokens() else 0
 
     def live_tokens(self) -> int:
         """KV rows currently resident in the pool (0 while swapped out)."""
@@ -252,28 +268,79 @@ class PagedKVCache:
 
     # -- reads ---------------------------------------------------------------
 
+    def _check_readable(self) -> None:
+        if self._released:
+            raise RuntimeError("cache was released back to the pool")
+        if self.is_swapped:
+            raise RuntimeError("cache is swapped out; swap it in before use")
+
+    def gather_context(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-copy read of one layer's context-region pages.
+
+        Returns float32 ``(n, h, d)`` K and V covering every page that lies
+        wholly inside the context region (``n`` is ``n_context`` rounded
+        down to a page boundary; the page straddling the context/decode
+        boundary keeps taking live appends and is gathered separately).
+        This is the batched decode path's hot read: once a request's
+        context is packed those pages never change again, so the gather —
+        including the per-page dequantization of the packed runs — is
+        memoized against the exact ``(block_id, Block.version)`` tuple of
+        the covered pages and repeated calls return the *same* arrays
+        without touching the pool.  Any COW fork, repack, in-place
+        overwrite or swap round-trip changes the key and re-gathers.
+
+        Callers must treat the returned arrays as read-only.
+        """
+        self._check_readable()
+        bs = self.table.block_size
+        n_rows = min(self.n_context, self._layer_lengths[layer_index])
+        n_blocks = n_rows // bs
+        if n_blocks == 0:
+            empty = np.empty((0, self.n_kv_heads, self.head_dim), dtype=np.float32)
+            return empty, empty
+        key = tuple(
+            (block_id, self.pool.get(block_id).version)
+            for block_id in self.table.block_ids[:n_blocks]
+        )
+        memo = self._context_memo.get(layer_index)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        k = np.empty((n_blocks * bs, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        v = np.empty_like(k)
+        for index, block_id in enumerate(self.table.block_ids[:n_blocks]):
+            block_k, block_v = self.pool.get(block_id).gather(layer_index, bs)
+            k[index * bs : (index + 1) * bs] = block_k
+            v[index * bs : (index + 1) * bs] = block_v
+        result = (k, v)
+        self._context_memo[layer_index] = (key, result)
+        return result
+
     def gather_layer(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
         """Materialise one layer's valid rows as float32 ``(length, h, d)``.
 
         The most recent gather per layer is memoized (invalidated by
         appends, overwrites and packing); callers treat the returned arrays
-        as read-only views of the cache state.
+        as read-only views of the cache state.  On a miss the immutable
+        context prefix comes from :meth:`gather_context` (a memcpy of the
+        memoized arrays), so a decode step only pays to re-gather — and
+        dequantize — the mutable tail pages its append just touched.
         """
-        if self._released:
-            raise RuntimeError("cache was released back to the pool")
-        if self.is_swapped:
-            raise RuntimeError("cache is swapped out; swap it in before use")
+        self._check_readable()
         length = self._layer_lengths[layer_index]
         memo = self._gather_memo.get(layer_index)
         if memo is not None and memo[0] == length and memo[1] == self._content_version:
             return memo[2]
         k = np.empty((length, self.n_kv_heads, self.head_dim), dtype=np.float32)
         v = np.empty_like(k)
-        done = 0
-        for block_id in self.table.block_ids:
+        context_k, context_v = self.gather_context(layer_index)
+        done = min(context_k.shape[0], length)
+        k[:done] = context_k[:done]
+        v[:done] = context_v[:done]
+        bs = self.table.block_size
+        for block_id in self.table.block_ids[done // bs :]:
             if done >= length:
                 break
-            take = min(self.table.block_size, length - done)
+            take = min(bs, length - done)
             block_k, block_v = self.pool.get(block_id).gather(layer_index, take)
             k[done : done + take] = block_k
             v[done : done + take] = block_v
@@ -422,6 +489,10 @@ class PagedKVCache:
                 state.append(("host", self.pool.swap_out(block_id)))
         self._swap_state = state
         self.table.block_ids = []
+        # A swapped sequence holds no device pages; drop the gather scratch
+        # too (host pages come back under fresh ids, re-keying the memo).
+        self._gather_memo.clear()
+        self._context_memo.clear()
 
     def swap_in(self) -> None:
         """Restore the swapped pages into the pool (fresh ids for host pages).
@@ -464,6 +535,8 @@ class PagedKVCache:
             for block_id in self.table.block_ids:
                 self.pool.release(block_id)
         self.table.block_ids = []
+        self._gather_memo.clear()
+        self._context_memo.clear()
         self._released = True
 
     # -- measured accounting -------------------------------------------------

@@ -136,6 +136,11 @@ class Block:
         #: Context rows of this block covered by packing (write guard): rows
         #: below this offset are frozen, even the FP16 ones kept as floats.
         self.packed_upto: int = 0
+        #: Bumped by every mutation; the zero-copy gather memo in
+        #: :meth:`repro.kvpool.cache.PagedKVCache.gather_context` keys on
+        #: ``(block_id, version)`` so a memoized read can never serve stale
+        #: rows after an in-place write or repack.
+        self.version: int = 0
 
     # -- writes --------------------------------------------------------------
 
@@ -149,10 +154,12 @@ class Block:
             raise ValueError("cannot overwrite rows that were packed")
         self.fp_k[layer, start_row:end] = k_rows
         self.fp_v[layer, start_row:end] = v_rows
+        self.version += 1
 
     def add_packed_run(self, layer: int, tensor: str, run: PackedRun) -> None:
         """Attach a packed run to one layer's K or V storage."""
         (self.packed_k if tensor == "k" else self.packed_v)[layer].append(run)
+        self.version += 1
 
     def seal_quantized_rows(self, rows: np.ndarray, packed_upto: int) -> None:
         """Zero the full-precision copies of rows now held as packed runs.
@@ -167,6 +174,7 @@ class Block:
             self.fp_v[:, rows] = 0.0
         self.n_quantized_rows += int(rows.size)
         self.packed_upto = max(self.packed_upto, packed_upto)
+        self.version += 1
 
     def clone(self) -> "Block":
         """Private deep copy of this page (the copy-on-write target).
@@ -181,6 +189,7 @@ class Block:
         copy.packed_v = [list(runs) for runs in self.packed_v]
         copy.n_quantized_rows = self.n_quantized_rows
         copy.packed_upto = self.packed_upto
+        copy.version = self.version
         return copy
 
     # -- reads ---------------------------------------------------------------
@@ -258,6 +267,7 @@ class BlockPool:
         self._reclaimers: list[BlockReclaimer] = []
         self._next_id = 0
         self._resident_bytes = 0
+        self._reserved_blocks = 0
         self.n_swap_outs = 0
         self.n_swap_ins = 0
         self.n_cow_copies = 0
@@ -323,11 +333,44 @@ class BlockPool:
         This is the number the scheduler budgets against: a page held only
         by the prefix index is *available* — allocating simply reclaims it —
         so idle cached pages never block admission or trigger preemption.
+        Pages temporarily held by a :meth:`reserve` ledger (the batched
+        decode round's deferred allocations) are subtracted.
         """
         free = self.n_free_blocks
         if free is None:
             return None
-        return free + self.reclaimable_blocks()
+        return free + self.reclaimable_blocks() - self._reserved_blocks
+
+    # -- reservations ---------------------------------------------------------
+
+    @property
+    def reserved_blocks(self) -> int:
+        """Pages currently held back from availability queries."""
+        return self._reserved_blocks
+
+    def reserve(self, n_blocks: int) -> None:
+        """Hold ``n_blocks`` pages back from :meth:`available_blocks`.
+
+        The batched decode round defers its forwards (and therefore their
+        page allocations) until every session's capacity check has run; the
+        reservation ledger makes those checks observe the pool exactly as
+        the sequential round — check, allocate, check, allocate … — would
+        have left it.  Reservations are bookkeeping only: the allocation
+        path (:meth:`allocate` / :meth:`copy_on_write` / :meth:`swap_in`)
+        ignores them, since the reserver is the one coming back to claim
+        the pages.
+        """
+        if n_blocks < 0:
+            raise ValueError(f"cannot reserve {n_blocks} blocks")
+        self._reserved_blocks += n_blocks
+
+    def unreserve(self, n_blocks: int) -> None:
+        """Return ``n_blocks`` reserved pages to availability queries."""
+        if n_blocks < 0 or n_blocks > self._reserved_blocks:
+            raise ValueError(
+                f"cannot unreserve {n_blocks} of {self._reserved_blocks} reserved blocks"
+            )
+        self._reserved_blocks -= n_blocks
 
     def can_allocate(self, n_blocks: int) -> bool:
         """Whether ``n_blocks`` more pages fit right now (reclaiming if needed)."""

@@ -12,6 +12,7 @@ gathers and dequantizes packed context pages on the fly).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -143,6 +144,36 @@ class AttentionLayer:
         k, v = self.project_kv(hidden, positions)
         cache.append(k, v)
         return self.attend(q, cache.keys(), cache.values(), positions)
+
+    def forward_decode_batch(
+        self,
+        hidden: np.ndarray,
+        caches: Sequence[LayerKVCache],
+        positions: Sequence[int],
+    ) -> np.ndarray:
+        """One decode position for each of ``n`` *independent* sequences.
+
+        ``hidden`` is the stacked ``(n, d_model)`` input (one row per
+        sequence); row ``i`` is projected, appended to ``caches[i]`` and
+        attended against that sequence's own K/V, exactly like
+        :meth:`forward_decode` would.
+
+        The projection GEMMs deliberately run per row rather than as one
+        stacked ``(n, d_model) @ W`` GEMM: BLAS accumulates a stacked GEMM's
+        rows in a shape-dependent order, so a sequence's logits would depend
+        on *who else is in the batch* — unacceptable under continuous
+        batching, where the batch composition changes every step.  Per-row
+        GEMMs keep the fused step bit-identical to the sequential path for
+        any batch mix (attention is per-sequence regardless, since every
+        sequence gathers its own paged KV).  On real hardware this is where
+        a batched kernel would trade that reduction-order freedom for
+        throughput; in this reproduction the fusion win is one model
+        invocation per engine step plus the shared gather/bookkeeping path.
+        """
+        out = np.empty((hidden.shape[0], self.weights.wo.shape[2]), dtype=np.float32)
+        for i, (cache, position) in enumerate(zip(caches, positions)):
+            out[i] = self.forward_decode(hidden[i : i + 1], cache, int(position))[0]
+        return out
 
     def attend_with_external_kv(
         self,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -52,4 +53,28 @@ class TransformerBlock:
         )
         hidden = hidden + attn_out
         mlp_out = self.mlp.forward(self.norm_mlp.forward(hidden))
+        return hidden + mlp_out
+
+    def forward_decode_batch(
+        self,
+        hidden: np.ndarray,
+        caches: Sequence[LayerKVCache],
+        positions: Sequence[int],
+    ) -> np.ndarray:
+        """Process one token per sequence for ``n`` independent sequences.
+
+        Norms, residual adds and activations are computed over the whole
+        ``(n, d_model)`` stack (all row-local, so bit-identical to the
+        per-sequence path); attention and the MLP GEMMs run per row — see
+        :meth:`AttentionLayer.forward_decode_batch` for why batch-shaped
+        GEMMs would break batch-composition invariance.
+        """
+        attn_out = self.attention.forward_decode_batch(
+            self.norm_attn.forward(hidden), caches, positions
+        )
+        hidden = hidden + attn_out
+        normed = self.norm_mlp.forward(hidden)
+        mlp_out = np.empty_like(hidden)
+        for i in range(hidden.shape[0]):
+            mlp_out[i] = self.mlp.forward(normed[i : i + 1])[0]
         return hidden + mlp_out

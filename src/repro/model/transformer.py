@@ -134,6 +134,40 @@ class Transformer:
             hidden = block.forward_decode(hidden, layer_cache, position)
         return self._logits(hidden[0])
 
+    def decode_step_batch(
+        self, token_ids: Sequence[int], caches: Sequence[ModelKVCache]
+    ) -> list[np.ndarray]:
+        """One fused decode forward advancing ``n`` independent sequences.
+
+        ``token_ids[i]`` is appended to ``caches[i]`` at that sequence's own
+        next position and the corresponding next-token logits are returned,
+        one row per sequence.  This is the serving engine's batched hot
+        path: the whole running set moves one token through the model in a
+        *single* invocation (one embedding lookup, one pass over the layer
+        stack) instead of ``n`` per-sequence forwards.  Outputs are
+        bit-identical to ``n`` separate :meth:`decode_step` calls for any
+        batch composition — see
+        :meth:`~repro.model.attention.AttentionLayer.forward_decode_batch`
+        for the invariance argument.
+        """
+        if len(token_ids) != len(caches):
+            raise ValueError(
+                f"{len(token_ids)} tokens for {len(caches)} caches"
+            )
+        if not caches:
+            return []
+        positions = []
+        for cache in caches:
+            position = cache.length
+            if position >= cache.capacity:
+                raise ValueError("KV cache is full")
+            positions.append(position)
+        hidden = self.embed(list(token_ids), np.asarray(positions))
+        for layer_index, block in enumerate(self.blocks):
+            layer_caches = [cache.layers[layer_index] for cache in caches]
+            hidden = block.forward_decode_batch(hidden, layer_caches, positions)
+        return [self._logits(hidden[i]) for i in range(hidden.shape[0])]
+
     def generate(
         self,
         prompt_ids: Sequence[int],
@@ -241,4 +275,8 @@ class Transformer:
             stop_ids=stop_ids,
             sampler=sampler,
             has_capacity=cache.has_capacity,
+            # Pool-backed caches report whether the next append will claim a
+            # fresh page, which the fused batched round reserves between a
+            # session's capacity check and its deferred forward.
+            step_cost=getattr(cache, "next_token_block_cost", None),
         )

@@ -19,6 +19,7 @@
 from repro.serving.backends import (
     BlockwiseBackend,
     DecodeBackend,
+    PrefillJob,
     PreparedSequence,
     QuantizedDenseBackend,
     backend_names,
@@ -27,7 +28,7 @@ from repro.serving.backends import (
     prompt_token_ids,
     register_backend,
 )
-from repro.serving.engine import InferenceEngine
+from repro.serving.engine import ExecutionStats, InferenceEngine
 from repro.serving.request import (
     GenerationRequest,
     GenerationResult,
@@ -39,6 +40,8 @@ from repro.serving.scheduler import ContinuousBatchingScheduler, SequenceState
 
 __all__ = [
     "InferenceEngine",
+    "ExecutionStats",
+    "PrefillJob",
     "GenerationRequest",
     "GenerationResult",
     "RequestStats",

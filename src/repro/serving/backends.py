@@ -97,6 +97,80 @@ def _paged_hooks(cache) -> dict:
     return {}
 
 
+class PrefillJob:
+    """Incremental prefill of one admitted request (chunked admission).
+
+    Under an engine ``max_prefill_tokens_per_step`` budget, a long prompt no
+    longer prefills inline at admission — each call to :meth:`advance` runs
+    the model's prefill forward over the *next chunk only*, so one
+    long-context arrival stops stalling every in-flight decode for a whole
+    round.  Between steps the partially filled cache stays pinned: pool
+    pages for the standard path, a private dense scratch cache for the warm
+    prefix-adoption path (``scratch=True``).  When the job is :attr:`done`,
+    :meth:`DecodeBackend.prepare` consumes it — planning, quantization and
+    packing then run exactly as they would have after a one-shot prefill,
+    so chunked admission changes *when* prefill compute happens, never what
+    it computes.
+    """
+
+    def __init__(
+        self,
+        backend: "DecodeBackend",
+        request: "GenerationRequest",
+        cache,
+        *,
+        scratch: bool = False,
+    ):
+        self.backend = backend
+        self.request = request
+        self.cache = cache
+        self.scratch = scratch
+        self.prompt = prompt_token_ids(
+            backend.tokenizer, request.context_words, request.query_words
+        )
+        self.n_done = 0
+        self.first_logits: np.ndarray | None = None
+        self._released = False
+
+    @property
+    def n_tokens(self) -> int:
+        """Total prompt tokens this job will prefill."""
+        return len(self.prompt)
+
+    @property
+    def n_remaining(self) -> int:
+        """Prompt tokens still to prefill."""
+        return len(self.prompt) - self.n_done
+
+    @property
+    def done(self) -> bool:
+        """Whether the whole prompt has been prefilled."""
+        return self.n_done >= len(self.prompt)
+
+    def live_tokens(self) -> int:
+        """KV rows the partial prefill currently pins."""
+        return 0 if self._released else self.cache.live_tokens()
+
+    def advance(self, max_tokens: int) -> int:
+        """Prefill up to ``max_tokens`` more prompt tokens; returns how many ran."""
+        if self.done:
+            raise RuntimeError("prefill is already complete")
+        if max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {max_tokens}")
+        chunk = self.prompt[self.n_done : self.n_done + max_tokens]
+        logits = self.backend.model.prefill(chunk, self.cache)
+        self.n_done += len(chunk)
+        if self.done:
+            self.first_logits = logits
+        return len(chunk)
+
+    def release(self) -> None:
+        """Return the partial cache's pool pages (idempotent; scratch is a no-op)."""
+        if not self._released:
+            _release_cache(self.cache)
+            self._released = True
+
+
 @dataclass
 class PreparedSequence:
     """A request after prefill, ready for step-at-a-time decoding.
@@ -133,6 +207,16 @@ class PreparedSequence:
         Prefix-reuse outcome of this preparation: context tokens / pool
         pages adopted from the engine's prefix index and the measured bytes
         of those pages (prefill storage the request did not re-create).
+    cache:
+        The decode cache the session appends to, exposed so a fused
+        ``step_batch`` call can advance many sequences through one model
+        forward.  ``None`` for backends whose decode state is not a plain
+        model cache (blockwise).
+    batch_key:
+        Fused-execution group: sequences carrying the same non-``None`` key
+        are advanced through **one** :meth:`DecodeBackend.step_batch` call
+        per engine step.  ``None`` keeps the sequence on the sequential
+        path.
     """
 
     session: DecodeSession
@@ -148,6 +232,8 @@ class PreparedSequence:
     cached_tokens: int = 0
     cache_hit_blocks: int = 0
     cached_bytes: int = 0
+    cache: object | None = field(default=None, repr=False)
+    batch_key: str | None = None
 
     @property
     def supports_swap(self) -> bool:
@@ -179,7 +265,7 @@ class DecodeBackend(abc.ABC):
         return stops
 
     def _prefill(
-        self, request: "GenerationRequest"
+        self, request: "GenerationRequest", prefill: PrefillJob | None = None
     ) -> tuple[ModelKVCache, np.ndarray, list[int]]:
         """Full-precision prefill of the request prompt.
 
@@ -188,8 +274,19 @@ class DecodeBackend(abc.ABC):
         reference cache when the engine was built with ``kv_cache="dense"``.
         If prefill dies half-way (e.g. the pool runs out of pages), the
         partially written pages are returned to the pool before the error
-        propagates.
+        propagates.  A finished :class:`PrefillJob` short-circuits the
+        forward — its chunked passes already filled the cache.
         """
+        if prefill is not None:
+            if not prefill.done:
+                raise RuntimeError("prepare() needs a finished prefill job")
+            cache = prefill.cache
+            try:
+                cache.mark_context(len(request.context_words))
+            except Exception:
+                _release_cache(cache)
+                raise
+            return cache, prefill.first_logits, prefill.prompt
         prompt = prompt_token_ids(
             self.tokenizer, request.context_words, request.query_words
         )
@@ -203,8 +300,57 @@ class DecodeBackend(abc.ABC):
         return cache, first_logits, prompt
 
     @abc.abstractmethod
-    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
-        """Prefill, plan/apply quantization and return the decode session."""
+    def prepare(
+        self, request: "GenerationRequest", prefill: PrefillJob | None = None
+    ) -> PreparedSequence:
+        """Prefill, plan/apply quantization and return the decode session.
+
+        ``prefill`` hands over a *finished* :class:`PrefillJob` when the
+        engine metered the prompt across several steps (chunked admission);
+        the backend then skips its own prefill and consumes the job's cache
+        and first-token logits instead.
+        """
+
+    # -- batched execution ---------------------------------------------------
+
+    #: Fused-execution group key stamped on prepared sequences when
+    #: :attr:`supports_batched_step` holds.  Every backend driving the
+    #: standard transformer decode over a plain model cache shares one key,
+    #: so a mixed dense/cocktail/ablation batch still fuses into a single
+    #: forward per engine step.
+    TRANSFORMER_BATCH_KEY = "transformer-decode"
+
+    @property
+    def supports_batched_step(self) -> bool:
+        """Whether this backend's prepared sequences may be fused into one
+        :meth:`step_batch` forward per engine step.  ``False`` keeps every
+        sequence on the sequential one-forward-per-token path."""
+        return False
+
+    def step_batch(
+        self, token_ids: Sequence[int], sequences: Sequence[PreparedSequence]
+    ) -> list[np.ndarray]:
+        """One fused decode forward for ``sequences`` (same ``batch_key``).
+
+        ``token_ids[i]`` is the token :meth:`DecodeSession.begin_step`
+        emitted for ``sequences[i]``; the return value is one next-token
+        logits row per sequence, in order.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} decodes on the sequential path"
+        )
+
+    # -- chunked prefill ------------------------------------------------------
+
+    def start_prefill(self, request: "GenerationRequest") -> PrefillJob | None:
+        """Begin a chunked prefill for ``request``, or ``None``.
+
+        Backends returning ``None`` do not support metered admission; the
+        engine then falls back to one-shot :meth:`prepare` regardless of
+        the prefill budget.
+        """
+        del request
+        return None
 
     def probe_cached_blocks(self, request: "GenerationRequest") -> int:
         """Estimate how many pool pages a request would adopt from the
@@ -239,15 +385,58 @@ class QuantizedDenseBackend(DecodeBackend):
         self.quantizer = quantizer
         self.name = name or quantizer.name
 
-    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+    @property
+    def supports_batched_step(self) -> bool:
+        """Token-local quantizers fuse; per-request fitted codebooks do not.
+
+        The fused kernel shares dequantization tables across the batch, so
+        methods whose decode-time state is fitted per request (KIVI,
+        KVQuant — see
+        :attr:`~repro.baselines.base.KVCacheQuantizer.fitted_context_state`)
+        fall back to the sequential path transparently.
+        """
+        return not self.quantizer.fitted_context_state
+
+    def step_batch(
+        self, token_ids: Sequence[int], sequences: Sequence[PreparedSequence]
+    ) -> list[np.ndarray]:
+        """Advance every sequence one token through one fused model forward."""
+        caches = []
+        for sequence in sequences:
+            if sequence.cache is None:
+                raise ValueError("sequence carries no decode cache to batch over")
+            caches.append(sequence.cache)
+        return self.model.decode_step_batch(list(token_ids), caches)
+
+    def start_prefill(self, request: "GenerationRequest") -> PrefillJob:
+        """Chunked prefill into the cache :meth:`prepare` will consume.
+
+        The warm prefix-adoption path prefills a private dense scratch (its
+        storage is assembled from shared pages afterwards); the cold path
+        prefills pool pages directly, which stay pinned between chunks.
+        """
         prefix_cache = self.engine.prefix_cache
         if prefix_cache is not None and prefix_cache.n_blocks > 0:
+            return PrefillJob(self, request, self.model.new_cache(), scratch=True)
+        return PrefillJob(self, request, self.engine.new_kv_cache())
+
+    def prepare(
+        self, request: "GenerationRequest", prefill: PrefillJob | None = None
+    ) -> PreparedSequence:
+        prefix_cache = self.engine.prefix_cache
+        if prefill is not None:
+            # The admission route was fixed when the job started; honour it
+            # even if the index filled up (or emptied) between the chunks.
+            warm = prefill.scratch
+        else:
             # Only when the index holds pages that could possibly match is
             # the scratch-prefill adoption path worth its extra row copy; a
             # cold engine prefills straight into the pool below and merely
             # *publishes* its pages afterwards.
-            return self._prepare_with_prefix_cache(request)
-        cache, first_logits, prompt = self._prefill(request)
+            warm = prefix_cache is not None and prefix_cache.n_blocks > 0
+        if warm:
+            return self._prepare_with_prefix_cache(request, prefill)
+        cache, first_logits, prompt = self._prefill(request, prefill)
         try:
             qrequest = build_quantization_request(
                 request.context_words,
@@ -284,6 +473,8 @@ class QuantizedDenseBackend(DecodeBackend):
             n_prompt_tokens=len(prompt),
             n_context_tokens=len(request.context_words),
             live_tokens=cache.live_tokens,
+            cache=cache,
+            batch_key=self.TRANSFORMER_BATCH_KEY if self.supports_batched_step else None,
             **_paged_hooks(cache),
         )
 
@@ -337,28 +528,39 @@ class QuantizedDenseBackend(DecodeBackend):
             return 0
         return prefix_cache.peek(fingerprint, hashes)
 
-    def _prepare_with_prefix_cache(self, request: "GenerationRequest") -> PreparedSequence:
+    def _prepare_with_prefix_cache(
+        self, request: "GenerationRequest", prefill: PrefillJob | None = None
+    ) -> PreparedSequence:
         """Prefill once at full precision, then adopt every matched page.
 
         Bit-exactness constraint: prefill attends over the full-precision
         K/V of the whole prompt, while the index stores *quantized* pages —
         so the prefill runs into a private dense scratch cache (same
-        numerics as the reference path) and only the storage is assembled
-        from shared pages + freshly written unmatched rows.  The decode
-        phase then sees exactly the pages the cold path would have built:
-        matched pages byte-identical by construction of the hash chain,
-        unmatched rows packed from the same deterministic encodings.
+        numerics as the reference path; under chunked admission the
+        engine's :class:`PrefillJob` filled that scratch across steps) and
+        only the storage is assembled from shared pages + freshly written
+        unmatched rows.  The decode phase then sees exactly the pages the
+        cold path would have built: matched pages byte-identical by
+        construction of the hash chain, unmatched rows packed from the same
+        deterministic encodings.
         """
         engine = self.engine
         prefix_cache = engine.prefix_cache
         pool = engine.pool
         n_context = len(request.context_words)
-        prompt = prompt_token_ids(
-            self.tokenizer, request.context_words, request.query_words
-        )
+        if prefill is not None:
+            if not prefill.done:
+                raise RuntimeError("prepare() needs a finished prefill job")
+            prompt = prefill.prompt
+            scratch = prefill.cache
+            first_logits = prefill.first_logits
+        else:
+            prompt = prompt_token_ids(
+                self.tokenizer, request.context_words, request.query_words
+            )
+            scratch = self.model.new_cache()
+            first_logits = self.model.prefill(prompt, scratch)
         context_ids = prompt[:n_context]
-        scratch = self.model.new_cache()
-        first_logits = self.model.prefill(prompt, scratch)
         scratch.mark_context(n_context)
         plan = self._plan_request(request, scratch)
         fingerprint, hashes = self._reuse_keys(plan, context_ids)
@@ -411,6 +613,8 @@ class QuantizedDenseBackend(DecodeBackend):
             cached_tokens=matched_tokens,
             cache_hit_blocks=len(matched_ids),
             cached_bytes=cached_bytes,
+            cache=cache,
+            batch_key=self.TRANSFORMER_BATCH_KEY if self.supports_batched_step else None,
             **_paged_hooks(cache),
         )
 
@@ -522,13 +726,25 @@ class _BlockwiseDecodeState:
 
 
 class BlockwiseBackend(DecodeBackend):
-    """Cocktail's Algorithm 1 over the reordered mixed-precision cache."""
+    """Cocktail's Algorithm 1 over the reordered mixed-precision cache.
+
+    The blockwise step *is* the paper's custom chunk-level decode kernel
+    (its own per-layer attention over chunked segments), so it stays on the
+    sequential path — :attr:`supports_batched_step` remains ``False`` —
+    while still admitting through chunked prefill.
+    """
 
     name = "blockwise"
 
-    def prepare(self, request: "GenerationRequest") -> PreparedSequence:
+    def start_prefill(self, request: "GenerationRequest") -> PrefillJob:
+        """Chunked prefill into pool pages (released once chunked caches are built)."""
+        return PrefillJob(self, request, self.engine.new_kv_cache())
+
+    def prepare(
+        self, request: "GenerationRequest", prefill: PrefillJob | None = None
+    ) -> PreparedSequence:
         engine = self.engine
-        cache, first_logits, prompt = self._prefill(request)
+        cache, first_logits, prompt = self._prefill(request, prefill)
         try:
             qrequest = build_quantization_request(
                 request.context_words,

@@ -24,7 +24,9 @@ Typical use::
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.config import CocktailConfig
@@ -33,6 +35,7 @@ from repro.baselines.base import KVCacheQuantizer
 from repro.hardware.gpu import GPUSpec
 from repro.kvpool.pool import BlockPool, PoolExhausted
 from repro.kvpool.prefix import PrefixCache
+from repro.model.decode import BatchedDecodeStep
 from repro.model.tokenizer import Tokenizer
 from repro.model.transformer import Transformer
 from repro.retrieval.base import Encoder
@@ -54,6 +57,47 @@ from repro.serving.scheduler import (
 #: it, a long-lived engine serving ever-new documents would retain packed
 #: pages forever (bounded pools need no cap — pressure reclaims idle pages).
 DEFAULT_PREFIX_CACHE_BLOCKS = 4096
+
+
+@dataclass
+class ExecutionStats:
+    """Engine-wide execution counters behind the batched-decode metrics.
+
+    ``forwards_per_token`` is the acceptance metric of the batched refactor:
+    a sequential engine runs one model forward per generated token (ratio
+    1.0); a batched engine amortises one fused forward over the whole
+    running set, so the ratio approaches ``1 / mean_batch_occupancy``.
+    """
+
+    #: Engine iterations (:meth:`InferenceEngine.step` calls).
+    n_steps: int = 0
+    #: Model decode invocations: fused batch calls + single-sequence
+    #: forwards (including recompute replays after preemption).
+    n_forward_calls: int = 0
+    #: Fused ``step_batch`` invocations.
+    n_fused_calls: int = 0
+    #: Summed batch sizes of the fused invocations.
+    n_fused_sequences: int = 0
+    #: Forwards that ran on the sequential one-sequence path.
+    n_sequential_forwards: int = 0
+    #: Tokens emitted to consumers by decode rounds.
+    n_decode_tokens: int = 0
+    #: Chunked-prefill passes executed under a prefill budget.
+    n_prefill_chunks: int = 0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean sequences advanced per fused forward (0.0 before any fusion)."""
+        if not self.n_fused_calls:
+            return 0.0
+        return self.n_fused_sequences / self.n_fused_calls
+
+    @property
+    def forwards_per_token(self) -> float:
+        """Model decode invocations per generated token (lower is better)."""
+        if not self.n_decode_tokens:
+            return 0.0
+        return self.n_forward_calls / self.n_decode_tokens
 
 
 class InferenceEngine:
@@ -116,6 +160,30 @@ class InferenceEngine:
         mainly bounds an *unbounded* pool's growth — which is why unbounded
         pools default to :data:`DEFAULT_PREFIX_CACHE_BLOCKS` instead of
         ``None`` (pass an explicit value to change it).
+    batched_decode:
+        ``True`` (the default on paged engines) fuses every running
+        sequence whose backend supports it into **one** model forward per
+        engine step (:meth:`~repro.model.transformer.Transformer.decode_step_batch`
+        driven by a :class:`~repro.model.decode.BatchedDecodeStep`);
+        backends without fused support — blockwise and the fitted-codebook
+        baselines — transparently keep decoding one forward per token.
+        Outputs are bit-identical with batching on or off for every
+        backend.  ``False`` forces the sequential path everywhere (the
+        parity reference).
+    max_prefill_tokens_per_step:
+        Chunked-prefill budget: at most this many prompt tokens are
+        prefilled per engine step, so a long-context arrival prefills
+        across several steps (its partial pages pinned in the pool) while
+        every in-flight sequence keeps decoding, instead of stalling the
+        whole round.  ``None`` (default) prefills each admitted prompt in
+        one shot.
+    retain_results:
+        ``True`` (default) stores finished results until read (see
+        :meth:`result` / :meth:`pop_results`).  ``False`` bounds retention
+        for event-driven consumers: a result survives only until the start
+        of the *next* :meth:`step` after the one that finished it, so a
+        long-lived externally-stepped engine cannot accumulate results
+        nobody reads.
     clock:
         Monotonic time source for the per-request stats (test hook).
     """
@@ -140,6 +208,9 @@ class InferenceEngine:
         preemption: str = "swap",
         prefix_caching: bool | None = None,
         prefix_cache_blocks: int | None = None,
+        batched_decode: bool | None = None,
+        max_prefill_tokens_per_step: int | None = None,
+        retain_results: bool = True,
         clock: Callable[[], float] = time.perf_counter,
     ):
         if kv_cache not in ("paged", "dense"):
@@ -200,10 +271,24 @@ class InferenceEngine:
             pool=self.pool,
             max_live_blocks=max_live_blocks,
         )
+        if max_prefill_tokens_per_step is not None and max_prefill_tokens_per_step < 1:
+            raise ValueError(
+                "max_prefill_tokens_per_step must be >= 1, got "
+                f"{max_prefill_tokens_per_step}"
+            )
+        self.max_prefill_tokens_per_step = max_prefill_tokens_per_step
+        self.batched_decode = (
+            self.pool is not None if batched_decode is None else bool(batched_decode)
+        )
+        self.retain_results = retain_results
+        self.exec_stats = ExecutionStats()
         self._clock = clock
         self._backends: dict[str, DecodeBackend] = {}
         self._states: dict[str, SequenceState] = {}
         self._results: dict[str, GenerationResult] = {}
+        #: Bounded-retention bookkeeping (``retain_results=False``): results
+        #: finished since the last step began, dropped when the next begins.
+        self._fresh_results: set[str] = set()
         self._counter = 0
 
     def new_kv_cache(self):
@@ -288,6 +373,11 @@ class InferenceEngine:
         """Number of requests queued for admission."""
         return len(self.scheduler.waiting)
 
+    @property
+    def n_prefilling(self) -> int:
+        """Number of admitted requests still prefilling chunk by chunk."""
+        return len(self.scheduler.prefilling)
+
     def is_finished(self, request_id: str) -> bool:
         """Whether ``request_id`` has completed."""
         return request_id in self._results
@@ -295,17 +385,32 @@ class InferenceEngine:
     def result(self, request_id: str, *, pop: bool = False) -> GenerationResult:
         """Final result of a completed request.
 
-        Results are retained until read with ``pop=True`` (or forever when
-        only peeked) — long-lived engines should pop, since blockwise
+        With ``retain_results=True`` (default) results are retained until
+        read with ``pop=True`` (or forever when only peeked) — long-lived
+        engines should pop or call :meth:`pop_results`, since blockwise
         results carry the request's full chunked KV caches in ``details``.
+        With ``retain_results=False`` a result is only readable until the
+        start of the next :meth:`step` after the one that finished it.
         """
         if request_id in self._results:
             if pop:
+                self._fresh_results.discard(request_id)
                 return self._results.pop(request_id)
             return self._results[request_id]
         if request_id in self._states:
             raise RuntimeError(f"request {request_id!r} has not finished yet")
         raise KeyError(f"unknown request_id {request_id!r}")
+
+    def pop_results(self) -> dict[str, GenerationResult]:
+        """Remove and return every finished result, keyed by request ID.
+
+        This is the bulk drain for long-lived engines: whatever retention
+        policy is active, after this call the engine holds no results.
+        """
+        results = dict(self._results)
+        self._results.clear()
+        self._fresh_results.clear()
+        return results
 
     # -- the engine loop -----------------------------------------------------
 
@@ -313,19 +418,26 @@ class InferenceEngine:
         """One engine iteration: admit, decode one round, rebalance.
 
         Admission moves FIFO-queue heads into the running set while slots
-        and token headroom last (their prompts prefill here).  The decode
+        and token headroom last; prompts prefill here — in one shot by
+        default, or metered across steps under
+        ``max_prefill_tokens_per_step`` (chunked prefill, so a long prompt
+        never stalls the in-flight decodes for a whole round).  The decode
         round then advances every running sequence by exactly one token —
-        this is the continuous batching: new arrivals join mid-flight and
-        short requests drain without waiting for long ones.  Finally, if
+        through **one fused forward** for the whole batchable set when
+        ``batched_decode`` is on, one forward per sequence otherwise; this
+        is the continuous batching: new arrivals join mid-flight and short
+        requests drain without waiting for long ones.  Finally, if
         accumulated decode tokens pushed the KV footprint over budget, the
         most recently admitted sequences are preempted for recomputation.
 
         Returns the :class:`TokenEvent` stream produced by this step, in
         round-robin order.
         """
-        while (state := self.scheduler.next_to_admit()) is not None:
-            if not self._admit(state):
-                break
+        if not self.retain_results:
+            for request_id in self._fresh_results:
+                self._results.pop(request_id, None)
+            self._fresh_results = set()
+        self._admission_phase()
         # Rebalance before decoding too: every running sequence may allocate
         # one page this round, and a sequence that observes a transiently
         # full pool mid-round would terminate "cache_full" instead of being
@@ -333,13 +445,141 @@ class InferenceEngine:
         # running sequence) that cannot happen except for a lone survivor,
         # for which a full pool genuinely is cache-full.
         self._rebalance()
-        events: list[TokenEvent] = []
-        for state in self.scheduler.decode_order():
-            events.extend(self._advance(state))
+        events = self._decode_round()
         self._rebalance()
         for state in self.scheduler.waiting:
             state.stats.n_queue_steps += 1
+        self.exec_stats.n_steps += 1
         return events
+
+    # -- admission (incl. chunked prefill) ------------------------------------
+
+    def _admission_phase(self) -> None:
+        """Resume in-flight chunked prefills, then admit FIFO-queue heads.
+
+        Both are metered by ``max_prefill_tokens_per_step``: in-flight jobs
+        (admitted in earlier steps, FIFO among themselves) consume the
+        budget first, then new heads are admitted while budget, slots and
+        headroom last.  A head whose whole prompt fits the remaining budget
+        takes the classic one-shot path; a longer prompt starts a
+        :class:`~repro.serving.backends.PrefillJob` and joins the
+        prefilling set.  With no budget configured this reduces exactly to
+        the old admit-until-full loop.
+        """
+        budget = self.max_prefill_tokens_per_step
+        remaining = math.inf if budget is None else budget
+        rolled_back: list[SequenceState] = []
+        for state in list(self.scheduler.prefilling):
+            if remaining < 1:
+                break
+            consumed, aborted = self._advance_prefill(state, remaining)
+            remaining -= consumed
+            if aborted:
+                rolled_back.append(state)
+        # Requeue newest-first: the resume loop visits jobs in admission
+        # order, so reversing before the appendleft rollbacks leaves the
+        # oldest request at the queue front — FIFO order survives even when
+        # several starved prefills abort in the same phase.
+        for state in reversed(rolled_back):
+            self.scheduler.prefill_to_waiting(state)
+        while remaining >= 1 and (state := self.scheduler.next_to_admit()) is not None:
+            if state in rolled_back:
+                # Just rolled back for pool pressure; restarting its prefill
+                # in the same step could only fail (or livelock) again.
+                break
+            if state.swapped and state.prepared is not None:
+                # Swap-ins restore pages without recompute; they consume no
+                # prefill budget.
+                if not self._admit(state):
+                    break
+                continue
+            needs_chunking = (
+                budget is not None and state.request.n_prompt_tokens > remaining
+            )
+            job = None
+            if needs_chunking:
+                backend = self.get_backend(state.request.backend)
+                job = backend.start_prefill(state.request)
+            if job is None:
+                # One-shot admission: either the prompt fits this step's
+                # budget, or the backend cannot chunk (then the budget is
+                # intentionally overrun rather than starving the request).
+                prompt_tokens = state.request.n_prompt_tokens
+                if not self._admit(state):
+                    break
+                remaining -= prompt_tokens
+            else:
+                state.prefill = job
+                self.scheduler.mark_prefilling(state)
+                if state.stats.scheduled_at is None:
+                    state.stats.scheduled_at = self._clock()
+                consumed, aborted = self._advance_prefill(state, remaining)
+                remaining -= consumed
+                if aborted:
+                    # The pool has no room for this head right now; put it
+                    # back and stop admitting (preemption or completions
+                    # will free pages for a later step).
+                    self.scheduler.prefill_to_waiting(state)
+                    break
+
+    def _advance_prefill(self, state: SequenceState, budget: float) -> tuple[int, bool]:
+        """Run one chunk of a prefilling request.
+
+        Returns ``(tokens consumed, aborted)``.  When the chunk completes
+        the prompt, the backend's ``prepare`` consumes the job
+        (planning/quantization/packing as usual) and the request joins the
+        decode set.  A pool-exhausted chunk releases the partial pages and
+        reports ``aborted=True`` — the caller rolls the request back to the
+        waiting queue for a fresh attempt — unless it is the only admitted
+        work, in which case it could never be served and the error
+        propagates (with its pages likewise released first, so a caller
+        that keeps serving other traffic leaks nothing).
+        """
+        job = state.prefill
+        try:
+            consumed = job.advance(int(min(budget, job.n_remaining)))
+            state.stats.n_prefill_chunks += 1
+            self.exec_stats.n_prefill_chunks += 1
+            if job.done:
+                backend = self.get_backend(state.request.backend)
+                prepared = backend.prepare(state.request, prefill=job)
+                state.prefill = None
+                self._attach_prepared(state, prepared)
+                self.scheduler.promote_prefilled(state)
+        except PoolExhausted:
+            job.release()
+            state.prefill = None
+            if not self.scheduler.running and len(self.scheduler.prefilling) <= 1:
+                # Consistent terminal state: the request returns to the
+                # queue head with every partial page released before the
+                # hard error propagates (mirrors the one-shot path).
+                self.scheduler.prefill_to_waiting(state)
+                raise
+            state.stats.n_preemptions += 1
+            return 0, True
+        return consumed, False
+
+    def _attach_prepared(self, state: SequenceState, prepared) -> None:
+        """Wire a freshly prepared sequence into its state (shared by the
+        one-shot and chunked admission paths): replay preempted output,
+        record reuse stats, stamp the scheduling time."""
+        # After a preemption the request is recomputed from scratch; replay
+        # the already-streamed tokens silently so consumers see no duplicates
+        # (deterministic sampling reproduces the identical prefix).
+        for _ in range(state.n_emitted):
+            if prepared.session.finished:
+                break
+            token = prepared.session.advance()
+            state.stats.n_decode_steps += 1
+            if token is not None and not prepared.session.finished:
+                self.exec_stats.n_forward_calls += 1
+                self.exec_stats.n_sequential_forwards += 1
+        state.prepared = prepared
+        state.stats.cached_tokens = prepared.cached_tokens
+        state.stats.cache_hit_blocks = prepared.cache_hit_blocks
+        state.stats.cached_bytes = prepared.cached_bytes
+        if state.stats.scheduled_at is None:
+            state.stats.scheduled_at = self._clock()
 
     def _rebalance(self) -> None:
         """Preempt newest-eligible sequences until budgets are respected."""
@@ -361,7 +601,7 @@ class InferenceEngine:
             try:
                 state.prepared.swap_in()
             except PoolExhausted:
-                if not self.scheduler.running:
+                if not self.scheduler.running and not self.scheduler.prefilling:
                     raise
                 return False
             state.swapped = False
@@ -372,23 +612,11 @@ class InferenceEngine:
         try:
             prepared = backend.prepare(state.request)
         except PoolExhausted:
-            if not self.scheduler.running:
+            if not self.scheduler.running and not self.scheduler.prefilling:
                 raise
             return False
-        # After a preemption the request is recomputed from scratch; replay
-        # the already-streamed tokens silently so consumers see no duplicates
-        # (deterministic sampling reproduces the identical prefix).
-        for _ in range(state.n_emitted):
-            if prepared.session.finished:
-                break
-            prepared.session.advance()
-            state.stats.n_decode_steps += 1
-        state.prepared = prepared
-        state.stats.cached_tokens = prepared.cached_tokens
-        state.stats.cache_hit_blocks = prepared.cache_hit_blocks
-        state.stats.cached_bytes = prepared.cached_bytes
-        if state.stats.scheduled_at is None:
-            state.stats.scheduled_at = self._clock()
+        state.stats.n_prefill_chunks += 1
+        self._attach_prepared(state, prepared)
         self.scheduler.mark_running(state)
         return True
 
@@ -411,27 +639,93 @@ class InferenceEngine:
         state.stats.n_preemptions += 1
         self.scheduler.requeue_front(state)
 
+    def _decode_round(self) -> list[TokenEvent]:
+        """Advance every running sequence by one token, fusing where possible.
+
+        The round walks the running set once, in admission (round-robin)
+        order.  Sequences whose backend supports fused execution run phase 1
+        of their step immediately — checks, token emission, event creation —
+        while their model forward is queued on a shared
+        :class:`~repro.model.decode.BatchedDecodeStep`; non-batchable
+        sequences advance inline.  Afterwards each fused group executes
+        **one** ``step_batch`` forward.
+
+        Sequential equivalence under pool pressure: a queued forward has not
+        allocated its page yet when later sequences run their capacity
+        checks, so the round *reserves* each deferred allocation on the
+        pool; every check therefore observes exactly the availability the
+        sequential check-then-allocate interleaving would have produced, and
+        outcomes (including ``cache_full``) stay bit-identical.
+        """
+        events: list[TokenEvent] = []
+        batches: dict[str, BatchedDecodeStep] = {}
+        reserved = 0
+
+        def reserve(n_blocks: int) -> None:
+            nonlocal reserved
+            if self.pool is not None and n_blocks:
+                self.pool.reserve(n_blocks)
+                reserved += n_blocks
+
+        try:
+            for state in self.scheduler.decode_order():
+                prepared = state.prepared
+                key = prepared.batch_key if self.batched_decode else None
+                if key is None:
+                    events.extend(self._advance(state))
+                    continue
+                batch = batches.get(key)
+                if batch is None:
+                    backend = self.get_backend(state.request.backend)
+                    batch = batches[key] = BatchedDecodeStep(
+                        backend.step_batch, reserve=reserve
+                    )
+                token, _ = batch.add(prepared.session, prepared)
+                state.stats.n_decode_steps += 1
+                if token is not None:
+                    events.append(self._emit_token(state, token))
+                if prepared.session.finished:
+                    events.append(self._finalize(state))
+        finally:
+            if reserved:
+                self.pool.unreserve(reserved)
+        for batch in batches.values():
+            batch_size = batch.commit()
+            if batch_size:
+                self.exec_stats.n_forward_calls += 1
+                self.exec_stats.n_fused_calls += 1
+                self.exec_stats.n_fused_sequences += batch_size
+        return events
+
+    def _emit_token(self, state: SequenceState, token: int) -> TokenEvent:
+        """Record one emitted token and build its streaming event."""
+        index = state.n_emitted
+        state.n_emitted += 1
+        state.emitted_tokens.append(token)
+        state.stats.n_generated = state.n_emitted
+        if index == 0:
+            state.stats.first_token_at = self._clock()
+        self.exec_stats.n_decode_tokens += 1
+        return TokenEvent(
+            request_id=state.request_id,
+            token_id=token,
+            text=self.tokenizer.decode([token]),
+            index=index,
+            is_first=index == 0,
+        )
+
     def _advance(self, state: SequenceState) -> list[TokenEvent]:
-        """Advance one running sequence by one decode step."""
+        """Advance one running sequence by one decode step (sequential path)."""
         session = state.prepared.session
         events: list[TokenEvent] = []
         token = session.advance()
         state.stats.n_decode_steps += 1
+        if token is not None and not session.finished:
+            # A forward ran (every outcome except the terminal ones).
+            self.exec_stats.n_forward_calls += 1
+            self.exec_stats.n_sequential_forwards += 1
         if token is not None:
-            index = state.n_emitted
-            events.append(
-                TokenEvent(
-                    request_id=state.request_id,
-                    token_id=token,
-                    text=self.tokenizer.decode([token]),
-                    index=index,
-                    is_first=index == 0,
-                )
-            )
-            state.n_emitted += 1
-            state.stats.n_generated = state.n_emitted
-            if index == 0:
-                state.stats.first_token_at = self._clock()
+            events.append(self._emit_token(state, token))
         if session.finished:
             events.append(self._finalize(state))
         return events
@@ -465,10 +759,64 @@ class InferenceEngine:
             stats=state.stats,
             details=details,
         )
-        self._results[state.request_id] = result
+        self._store_result(result)
         self.scheduler.remove(state)
         del self._states[state.request_id]
         return terminal_event(state, session.stopped_by)
+
+    def _store_result(self, result: GenerationResult) -> None:
+        self._results[result.request_id] = result
+        if not self.retain_results:
+            self._fresh_results.add(result.request_id)
+
+    # -- cancellation ----------------------------------------------------------
+
+    def cancel(self, request_id: str) -> TokenEvent:
+        """Abort a waiting, prefilling or running request.
+
+        Every resource the request holds is returned immediately: pool
+        pages and refcounts of its prepared (or swapped-out) cache, the
+        partial pages of an in-flight chunked prefill, and its scheduler
+        slot.  The stored :class:`GenerationResult` carries the tokens
+        streamed so far with ``stopped_by="cancelled"``, and the returned
+        terminal :class:`TokenEvent` closes the stream the same way.
+
+        Cancelling an unknown request raises :class:`KeyError`; a request
+        that already finished raises :class:`ValueError` (its result is
+        final — use :meth:`result` to read or drop it).
+        """
+        if request_id in self._results:
+            raise ValueError(f"request {request_id!r} has already finished")
+        state = self._states.get(request_id)
+        if state is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        if state.prefill is not None:
+            state.prefill.release()
+            state.prefill = None
+        if state.prepared is not None:
+            if state.prepared.release is not None:
+                state.prepared.release()
+            state.prepared = None
+        state.swapped = False
+        self.scheduler.discard(state)
+        state.finished = True
+        state.stats.finished_at = self._clock()
+        state.stats.n_generated = state.n_emitted
+        self._store_result(
+            GenerationResult(
+                request_id=request_id,
+                backend=state.request.backend,
+                answer_text=self.tokenizer.decode(state.emitted_tokens),
+                token_ids=list(state.emitted_tokens),
+                stopped_by="cancelled",
+                n_context_tokens=len(state.request.context_words),
+                n_prompt_tokens=state.request.n_prompt_tokens,
+                plan=None,
+                stats=state.stats,
+            )
+        )
+        del self._states[request_id]
+        return terminal_event(state, "cancelled")
 
     # -- high-level entry points ---------------------------------------------
 
@@ -497,16 +845,25 @@ class InferenceEngine:
         return self.result(rid, pop=pop)
 
     def run_batch(
-        self, requests: Iterable[GenerationRequest], *, pop: bool = False
+        self, requests: Iterable[GenerationRequest], *, pop: bool = True
     ) -> list[GenerationResult]:
         """Serve a batch of requests via continuous batching.
 
         All requests are submitted up front and decoded concurrently
         (subject to the scheduler's capacity limits); results come back in
-        submission order.  ``pop=True`` releases the stored results (see
-        :meth:`result`).
+        submission order.  Results are **popped by default** — the caller
+        already receives them, so retaining a second reference on the
+        engine is the retention footgun :meth:`pop_results` exists to
+        avoid.  Pass ``pop=False`` to additionally keep them readable via
+        :meth:`result`.
         """
         rids = [self.submit(request) for request in requests]
-        while not all(self.is_finished(rid) for rid in rids):
+        collected: dict[str, GenerationResult] = {}
+        while len(collected) < len(rids):
             self.step()
-        return [self.result(rid, pop=pop) for rid in rids]
+            # Collect eagerly: under retain_results=False a finished result
+            # only survives until the start of the next step.
+            for rid in rids:
+                if rid not in collected and rid in self._results:
+                    collected[rid] = self.result(rid, pop=pop)
+        return [collected[rid] for rid in rids]

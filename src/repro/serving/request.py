@@ -142,6 +142,10 @@ class RequestStats:
     n_generated: int = 0
     n_decode_steps: int = 0
     n_queue_steps: int = 0
+    #: Engine steps that ran part of this request's prompt prefill under a
+    #: chunked-admission budget (1 for a classic one-shot admission once
+    #: the request was prepared; several for a metered long prompt).
+    n_prefill_chunks: int = 0
     n_preemptions: int = 0
     #: Preemptions served by swapping pages to the host store (a subset of
     #: ``n_preemptions``; the remainder were recompute preemptions).

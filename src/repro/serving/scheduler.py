@@ -3,10 +3,13 @@
 Policy, in one paragraph: requests are admitted FIFO from a waiting queue
 whenever a slot (``max_running``), KV-token headroom (``max_live_tokens``)
 and free pool pages (when the engine runs on a bounded
-:class:`~repro.kvpool.BlockPool`) are available; each engine step then
-performs one round-robin pass over the running set, advancing every
-in-flight sequence by exactly one decode step, so short and long requests
-interleave instead of head-of-line blocking.  If the live KV footprint
+:class:`~repro.kvpool.BlockPool`) are available; under a chunked-prefill
+budget a long prompt is admitted into a *prefilling* set first, metering
+its prefill across steps while holding a slot and pinning its partial
+pages.  Each engine step then performs one round-robin pass over the
+running set, advancing every in-flight sequence by exactly one decode step
+(through one fused forward for the batchable subset), so short and long
+requests interleave instead of head-of-line blocking.  If the live KV footprint
 outgrows the budget (decode tokens accumulate after admission), the most
 recently admitted *eligible* sequence is preempted — a sequence one token
 from finishing is never picked, which breaks the preempt-thrash loop where
@@ -24,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.kvpool.cache import BlockTable
-from repro.serving.backends import PreparedSequence
+from repro.serving.backends import PrefillJob, PreparedSequence
 from repro.serving.request import GenerationRequest, RequestStats, TokenEvent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -38,9 +41,17 @@ class SequenceState:
     request: GenerationRequest
     stats: RequestStats = field(default_factory=RequestStats)
     prepared: PreparedSequence | None = None
+    #: In-flight chunked prefill (chunked admission only): the request has
+    #: left the waiting queue but is not decoding yet; its partial cache
+    #: stays pinned between engine steps.
+    prefill: PrefillJob | None = None
     #: Tokens already streamed to consumers (survives preemption; replayed
     #: tokens are suppressed instead of re-emitted).
     n_emitted: int = 0
+    #: The streamed token ids themselves — what a cancelled request reports
+    #: as its partial output even when its decode session is gone (e.g.
+    #: cancelled while waiting for recompute after a preemption).
+    emitted_tokens: list[int] = field(default_factory=list)
     #: Whether the prepared sequence's pages sit in the host-side swap store
     #: (set by swap preemption; cleared when the pages are restored).
     swapped: bool = False
@@ -67,6 +78,8 @@ class SequenceState:
 
     def live_tokens(self) -> int:
         """KV rows currently held (0 while waiting or swapped out)."""
+        if self.prefill is not None:
+            return self.prefill.live_tokens()
         if self.prepared is None or self.swapped:
             return 0
         return self.prepared.live_tokens()
@@ -132,16 +145,22 @@ class ContinuousBatchingScheduler:
         self.max_live_blocks = max_live_blocks
         self.waiting: deque[SequenceState] = deque()
         self.running: list[SequenceState] = []  # admission order
+        #: Admitted requests whose prompts are prefilling chunk by chunk
+        #: (chunked admission); they hold a slot and pin partial pages but
+        #: do not decode yet.  Admission order, like ``running``.
+        self.prefilling: list[SequenceState] = []
 
     # -- queries -------------------------------------------------------------
 
     @property
     def has_work(self) -> bool:
-        return bool(self.waiting or self.running)
+        return bool(self.waiting or self.running or self.prefilling)
 
     def live_tokens(self) -> int:
-        """Summed KV rows of all running sequences."""
-        return sum(state.live_tokens() for state in self.running)
+        """Summed KV rows of all running and prefilling sequences."""
+        return sum(
+            state.live_tokens() for state in (*self.running, *self.prefilling)
+        )
 
     def _blocks_for(self, n_tokens: int) -> int:
         return BlockTable.blocks_for_tokens(n_tokens, self.pool.block_size)
@@ -180,10 +199,11 @@ class ContinuousBatchingScheduler:
         A sequence whose prompt alone exceeds the token budget is still
         admitted when nothing is running, otherwise it could never start.
         """
-        if not self.waiting or len(self.running) >= self.max_running:
+        n_admitted = len(self.running) + len(self.prefilling)
+        if not self.waiting or n_admitted >= self.max_running:
             return None
         head = self.waiting[0]
-        if not self.running:
+        if not n_admitted:
             return head
         if self.max_live_tokens is not None:
             if self.live_tokens() + head.admission_tokens() > self.max_live_tokens:
@@ -209,9 +229,35 @@ class ContinuousBatchingScheduler:
         self.waiting.popleft()
         self.running.append(state)
 
+    def mark_prefilling(self, state: SequenceState) -> None:
+        """Move the queue head into the chunked-prefill set (must be the head)."""
+        if not self.waiting or self.waiting[0] is not state:
+            raise ValueError("only the head of the waiting queue can be admitted")
+        self.waiting.popleft()
+        self.prefilling.append(state)
+
+    def promote_prefilled(self, state: SequenceState) -> None:
+        """Move a finished chunked prefill into the running (decode) set."""
+        self.prefilling.remove(state)
+        self.running.append(state)
+
+    def prefill_to_waiting(self, state: SequenceState) -> None:
+        """Roll an aborted chunked prefill back to the front of the queue."""
+        self.prefilling.remove(state)
+        self.waiting.appendleft(state)
+
     def remove(self, state: SequenceState) -> None:
         """Drop a finished sequence from the running set."""
         self.running.remove(state)
+
+    def discard(self, state: SequenceState) -> None:
+        """Drop a cancelled request from whichever set currently holds it."""
+        if state in self.running:
+            self.running.remove(state)
+        elif state in self.prefilling:
+            self.prefilling.remove(state)
+        else:
+            self.waiting.remove(state)
 
     def decode_order(self) -> list[SequenceState]:
         """Snapshot of the running set in admission (round-robin) order."""
