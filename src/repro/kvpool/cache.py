@@ -182,7 +182,24 @@ class PagedKVCache:
         sequences in the round observe the same pool availability the
         sequential check-then-allocate interleaving would produce.
         """
-        return 1 if self.length >= self.table.reserved_tokens() else 0
+        return self.block_cost_for_tokens(1)
+
+    def block_cost_for_tokens(self, n_tokens: int) -> int:
+        """Pool pages appending ``n_tokens`` more rows would newly allocate.
+
+        The speculative planner sizes its draft window with this: a verify
+        run appends up to ``k + 1`` rows at once, and the engine both
+        checks :meth:`~repro.kvpool.pool.BlockPool.can_allocate` and
+        reserves this many pages before deferring the fused forward, so
+        drafting can never make a round claim pages a sequential
+        one-token-per-step engine would not have been granted.
+        """
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        needed = BlockTable.blocks_for_tokens(
+            self.length + n_tokens, self.table.block_size
+        )
+        return max(0, needed - len(self.table.block_ids))
 
     def live_tokens(self) -> int:
         """KV rows currently resident in the pool (0 while swapped out)."""
@@ -265,6 +282,40 @@ class PagedKVCache:
             )
             written += take
         self._layer_lengths[layer_index] = start + n
+
+    def truncate(self, n_tokens: int) -> None:
+        """Roll the decode tail back to ``n_tokens`` rows (all layers).
+
+        This is the speculative-decoding rollback: a verify forward
+        appended rows for every drafted token, and the rejected tail must
+        vanish as if it had never been computed.  Only rows *past the
+        context region* can be truncated — context pages may be packed,
+        shared with other sequences or adopted from the prefix index, and
+        none of those are this sequence's to shrink.  The decode tail, by
+        contrast, was appended through :meth:`append_layer`, whose
+        copy-on-write discipline guarantees the affected pages are
+        privately owned: pages left wholly beyond the new length are
+        released back to the pool, and the stale rows of the straddling
+        page are simply overwritten by the next append.
+        """
+        self._check_writable()
+        if n_tokens < self.n_context:
+            raise ValueError(
+                f"cannot truncate into the context region "
+                f"({n_tokens} < {self.n_context})"
+            )
+        if n_tokens > min(self._layer_lengths):
+            raise ValueError(
+                f"cannot truncate to {n_tokens}: a layer holds only "
+                f"{min(self._layer_lengths)} rows"
+            )
+        keep = BlockTable.blocks_for_tokens(n_tokens, self.table.block_size)
+        for block_id in self.table.block_ids[keep:]:
+            self.pool.release(block_id)
+        del self.table.block_ids[keep:]
+        self._layer_lengths = [n_tokens] * self.n_layers
+        self._gather_memo.clear()
+        self._content_version += 1
 
     # -- reads ---------------------------------------------------------------
 

@@ -168,6 +168,60 @@ class Transformer:
             hidden = block.forward_decode_batch(hidden, layer_caches, positions)
         return [self._logits(hidden[i]) for i in range(hidden.shape[0])]
 
+    def decode_verify_step(
+        self, token_ids: Sequence[int], cache: ModelKVCache
+    ) -> list[np.ndarray]:
+        """One multi-token verify forward for speculative decoding.
+
+        ``token_ids`` is ``[next_token, draft_1, .., draft_k]`` — the token
+        the decode session is emitting this step plus the proposer's
+        guesses.  All ``k + 1`` rows are appended to ``cache`` and one
+        next-token logits row per input is returned; the caller verifies
+        the drafts against those logits and truncates the cache rows of the
+        rejected tail (see :meth:`~repro.kvpool.cache.PagedKVCache.truncate`).
+
+        Positions run strictly sequentially inside the single invocation —
+        exactly the per-row discipline of :meth:`decode_step_batch` — so
+        every logits row is bit-identical to the sequential
+        :meth:`decode_step` it replaces *regardless of how many drafts were
+        attached*: acceptance length can never perturb the numerics.  On
+        real hardware this is one causal multi-row forward (the prefill
+        kernel at decode time); here the fusion win is one model invocation
+        per verify run instead of one per token.
+        """
+        token_ids = list(token_ids)
+        if not token_ids:
+            raise ValueError("verify requires at least one token")
+        if cache.length + len(token_ids) > cache.capacity:
+            raise ValueError(
+                f"verify run of {len(token_ids)} tokens does not fit the cache "
+                f"(length {cache.length}, capacity {cache.capacity})"
+            )
+        return [self.decode_step(token_id, cache) for token_id in token_ids]
+
+    def decode_verify_step_batch(
+        self,
+        token_lists: Sequence[Sequence[int]],
+        caches: Sequence[ModelKVCache],
+    ) -> list[list[np.ndarray]]:
+        """One fused verify forward advancing ``n`` independent sequences.
+
+        ``token_lists[i]`` is sequence ``i``'s ``[next_token, *drafts]``
+        run (lengths may differ per sequence — acceptance windows shrink
+        with budget and pool headroom); the return value is one logits
+        block per sequence with one row per input token.  This is the
+        speculative serving engine's hot path: the whole running set's
+        verify runs execute in a *single* model invocation per engine step.
+        Like :meth:`decode_step_batch`, rows are computed per sequence and
+        per position, so outputs never depend on the batch composition.
+        """
+        if len(token_lists) != len(caches):
+            raise ValueError(f"{len(token_lists)} token runs for {len(caches)} caches")
+        return [
+            self.decode_verify_step(token_ids, cache)
+            for token_ids, cache in zip(token_lists, caches)
+        ]
+
     def generate(
         self,
         prompt_ids: Sequence[int],

@@ -14,6 +14,10 @@
   ``step()`` / ``stream()`` / ``run()`` / ``run_batch()``, serving every
   request out of a shared paged :class:`~repro.kvpool.BlockPool` with
   actually-packed quantized context storage.
+* :mod:`repro.serving.spec` — speculative decoding: the
+  :class:`DraftProposer` registry (n-gram prompt lookup by default) and
+  :class:`SpeculativeConfig`, driving multi-token verify forwards through
+  the batched decode path with greedy (output-identical) verification.
 """
 
 from repro.serving.backends import (
@@ -29,6 +33,14 @@ from repro.serving.backends import (
     register_backend,
 )
 from repro.serving.engine import ExecutionStats, InferenceEngine
+from repro.serving.spec import (
+    DraftProposer,
+    NgramProposer,
+    SpeculativeConfig,
+    create_proposer,
+    proposer_names,
+    register_proposer,
+)
 from repro.serving.request import (
     GenerationRequest,
     GenerationResult,
@@ -58,4 +70,10 @@ __all__ = [
     "prompt_token_ids",
     "ContinuousBatchingScheduler",
     "SequenceState",
+    "SpeculativeConfig",
+    "DraftProposer",
+    "NgramProposer",
+    "register_proposer",
+    "proposer_names",
+    "create_proposer",
 ]

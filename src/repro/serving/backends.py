@@ -217,6 +217,16 @@ class PreparedSequence:
         are advanced through **one** :meth:`DecodeBackend.step_batch` call
         per engine step.  ``None`` keeps the sequence on the sequential
         path.
+    prompt_ids:
+        Token IDs of the full prompt, kept for the speculative-decoding
+        draft proposer (prompt-lookup drafting matches n-grams over prompt
+        + generated history).  ``None`` when the backend does not surface
+        them.
+    spec_capable:
+        Whether this sequence may run speculative verify steps
+        (:meth:`DecodeBackend.verify_batch` over its plain model cache
+        with :meth:`~repro.kvpool.cache.PagedKVCache.truncate` rollback).
+        Stamped by the backend; requires ``cache`` and ``prompt_ids``.
     """
 
     session: DecodeSession
@@ -234,6 +244,8 @@ class PreparedSequence:
     cached_bytes: int = 0
     cache: object | None = field(default=None, repr=False)
     batch_key: str | None = None
+    prompt_ids: tuple[int, ...] | None = None
+    spec_capable: bool = False
 
     @property
     def supports_swap(self) -> bool:
@@ -340,6 +352,36 @@ class DecodeBackend(abc.ABC):
             f"backend {self.name!r} decodes on the sequential path"
         )
 
+    # -- speculative decoding -------------------------------------------------
+
+    @property
+    def supports_speculation(self) -> bool:
+        """Whether this backend's sequences may run speculative verify steps.
+
+        Requires the standard transformer decode over a plain model cache
+        (so a verify forward can append ``k + 1`` rows and the rejected
+        tail can be truncated) — the same constraint as
+        :attr:`supports_batched_step`.  ``False`` keeps every sequence on
+        plain one-token-per-step decoding.
+        """
+        return False
+
+    def verify_batch(
+        self,
+        token_lists: Sequence[Sequence[int]],
+        sequences: Sequence[PreparedSequence],
+    ) -> list[list[np.ndarray]]:
+        """One fused speculative-verify forward for ``sequences``.
+
+        ``token_lists[i]`` is ``[token, *drafts]`` for ``sequences[i]``;
+        the return value is one logits block per sequence with one row per
+        input token (see
+        :meth:`~repro.model.transformer.Transformer.decode_verify_step_batch`).
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support speculative decoding"
+        )
+
     # -- chunked prefill ------------------------------------------------------
 
     def start_prefill(self, request: "GenerationRequest") -> PrefillJob | None:
@@ -408,6 +450,28 @@ class QuantizedDenseBackend(DecodeBackend):
             caches.append(sequence.cache)
         return self.model.decode_step_batch(list(token_ids), caches)
 
+    @property
+    def supports_speculation(self) -> bool:
+        """Speculation shares the fused kernel's constraint: token-local
+        quantizers verify in one multi-token forward; per-request fitted
+        codebooks (KIVI, KVQuant) stay on the plain sequential path."""
+        return self.supports_batched_step
+
+    def verify_batch(
+        self,
+        token_lists: Sequence[Sequence[int]],
+        sequences: Sequence[PreparedSequence],
+    ) -> list[list[np.ndarray]]:
+        """Run every sequence's verify run through one fused model forward."""
+        caches = []
+        for sequence in sequences:
+            if sequence.cache is None:
+                raise ValueError("sequence carries no decode cache to verify over")
+            caches.append(sequence.cache)
+        return self.model.decode_verify_step_batch(
+            [list(tokens) for tokens in token_lists], caches
+        )
+
     def start_prefill(self, request: "GenerationRequest") -> PrefillJob:
         """Chunked prefill into the cache :meth:`prepare` will consume.
 
@@ -475,6 +539,8 @@ class QuantizedDenseBackend(DecodeBackend):
             live_tokens=cache.live_tokens,
             cache=cache,
             batch_key=self.TRANSFORMER_BATCH_KEY if self.supports_batched_step else None,
+            prompt_ids=tuple(prompt),
+            spec_capable=self.supports_speculation,
             **_paged_hooks(cache),
         )
 
@@ -615,6 +681,8 @@ class QuantizedDenseBackend(DecodeBackend):
             cached_bytes=cached_bytes,
             cache=cache,
             batch_key=self.TRANSFORMER_BATCH_KEY if self.supports_batched_step else None,
+            prompt_ids=tuple(prompt),
+            spec_capable=self.supports_speculation,
             **_paged_hooks(cache),
         )
 

@@ -51,6 +51,7 @@ from repro.serving.scheduler import (
     SequenceState,
     terminal_event,
 )
+from repro.serving.spec import DraftProposer, SpeculativeConfig, create_proposer
 
 
 #: Prefix-index retention cap applied when the pool is *unbounded*: without
@@ -84,6 +85,13 @@ class ExecutionStats:
     n_decode_tokens: int = 0
     #: Chunked-prefill passes executed under a prefill budget.
     n_prefill_chunks: int = 0
+    #: Draft tokens attached to verify forwards (speculative decoding).
+    n_drafted_tokens: int = 0
+    #: Drafted tokens the greedy verification accepted — each one a
+    #: generated token that cost no extra target-model forward, which is
+    #: what pushes ``forwards_per_token`` below the batched floor of
+    #: ``1 / mean_batch_occupancy``.
+    n_accepted_tokens: int = 0
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -91,6 +99,13 @@ class ExecutionStats:
         if not self.n_fused_calls:
             return 0.0
         return self.n_fused_sequences / self.n_fused_calls
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens accepted (0.0 before any drafting)."""
+        if not self.n_drafted_tokens:
+            return 0.0
+        return self.n_accepted_tokens / self.n_drafted_tokens
 
     @property
     def forwards_per_token(self) -> float:
@@ -177,6 +192,24 @@ class InferenceEngine:
         every in-flight sequence keeps decoding, instead of stalling the
         whole round.  ``None`` (default) prefills each admitted prompt in
         one shot.
+    speculative:
+        Speculative-decoding knobs (:class:`~repro.serving.spec.SpeculativeConfig`,
+        or a plain ``int`` shorthand for ``SpeculativeConfig(k=...)``).
+        Each engine step a draft proposer (n-gram prompt lookup by
+        default) guesses up to ``k`` continuation tokens per in-flight
+        sequence; ONE fused verify forward checks every guess against the
+        target model, accepted tokens are emitted at zero extra forwards
+        and the rejected tail's cache rows are rolled back
+        (:meth:`~repro.kvpool.cache.PagedKVCache.truncate`).  Greedy
+        verification is exact, so outputs are bit-identical to plain
+        decoding for every backend; sequences that cannot speculate —
+        non-greedy sampling, blockwise, the fitted-codebook baselines —
+        transparently keep their plain decode path (explicitly opting such
+        a backend in via ``SpeculativeConfig(backends=...)`` raises at
+        construction instead).  Drafted rows reserve pool pages through
+        the same ledger as the batched round, so speculation never claims
+        capacity a sequential engine would not have been granted.
+        Requires ``batched_decode``; ``None`` (default) disables.
     retain_results:
         ``True`` (default) stores finished results until read (see
         :meth:`result` / :meth:`pop_results`).  ``False`` bounds retention
@@ -210,6 +243,7 @@ class InferenceEngine:
         prefix_cache_blocks: int | None = None,
         batched_decode: bool | None = None,
         max_prefill_tokens_per_step: int | None = None,
+        speculative: SpeculativeConfig | int | None = None,
         retain_results: bool = True,
         clock: Callable[[], float] = time.perf_counter,
     ):
@@ -280,6 +314,21 @@ class InferenceEngine:
         self.batched_decode = (
             self.pool is not None if batched_decode is None else bool(batched_decode)
         )
+        if isinstance(speculative, bool):
+            raise ValueError(
+                "speculative takes a SpeculativeConfig or an int k, not a bool"
+            )
+        if isinstance(speculative, int):
+            speculative = SpeculativeConfig(k=speculative)
+        self.speculative: SpeculativeConfig | None = speculative
+        self._proposer: DraftProposer | None = None
+        if speculative is not None:
+            if not self.batched_decode:
+                raise ValueError(
+                    "speculative decoding runs on the batched decode path; "
+                    "it cannot be combined with batched_decode=False"
+                )
+            self._proposer = create_proposer(speculative)
         self.retain_results = retain_results
         self.exec_stats = ExecutionStats()
         self._clock = clock
@@ -290,6 +339,20 @@ class InferenceEngine:
         #: finished since the last step began, dropped when the next begins.
         self._fresh_results: set[str] = set()
         self._counter = 0
+        if self.speculative is not None and self.speculative.backends is not None:
+            # Fail at construction, not deep inside a decode round: a backend
+            # explicitly opted into speculation must actually support the
+            # multi-token verify forward.
+            for name in self.speculative.backends:
+                if not self.get_backend(name).supports_speculation:
+                    raise ValueError(
+                        f"backend {name!r} cannot run speculative decoding: its "
+                        "decode state is fitted per request "
+                        "(fitted_context_state) or it decodes outside the "
+                        "standard transformer cache; drop it from "
+                        "SpeculativeConfig.backends (unlisted backends serve "
+                        "on their plain decode path)"
+                    )
 
     def new_kv_cache(self):
         """A fresh per-sequence KV cache on the engine's storage backend."""
@@ -656,9 +719,20 @@ class InferenceEngine:
         pool; every check therefore observes exactly the availability the
         sequential check-then-allocate interleaving would have produced, and
         outcomes (including ``cache_full``) stay bit-identical.
+
+        With ``speculative`` configured, phase 1 additionally asks the
+        draft proposer for up to ``k`` continuation guesses per batchable
+        sequence (window clamped by decode budget, cache capacity and pool
+        headroom — the drafted rows are reserved like any deferred
+        allocation); the group's one fused call becomes a *verify* forward
+        over ``[token, *drafts]`` per sequence, and a third phase emits the
+        accepted tokens and truncates the rejected tails' cache rows.
         """
         events: list[TokenEvent] = []
         batches: dict[str, BatchedDecodeStep] = {}
+        #: Per-group states whose verify outcome phase 3 must absorb,
+        #: aligned with each batch's pending (add) order.
+        spec_queue: dict[str, list[tuple[SequenceState, int]]] = {}
         reserved = 0
 
         def reserve(n_blocks: int) -> None:
@@ -678,23 +752,133 @@ class InferenceEngine:
                 if batch is None:
                     backend = self.get_backend(state.request.backend)
                     batch = batches[key] = BatchedDecodeStep(
-                        backend.step_batch, reserve=reserve
+                        backend.step_batch,
+                        reserve=reserve,
+                        verify_batch_fn=(
+                            backend.verify_batch
+                            if self.speculative is not None
+                            else None
+                        ),
                     )
-                token, _ = batch.add(prepared.session, prepared)
+                drafts, step_cost = self._plan_drafts(state)
+                token, needs_forward = batch.add(
+                    prepared.session, prepared, drafts=drafts, step_cost=step_cost
+                )
                 state.stats.n_decode_steps += 1
                 if token is not None:
                     events.append(self._emit_token(state, token))
                 if prepared.session.finished:
                     events.append(self._finalize(state))
+                elif needs_forward and self.speculative is not None:
+                    spec_queue.setdefault(key, []).append((state, len(drafts)))
         finally:
             if reserved:
                 self.pool.unreserve(reserved)
-        for batch in batches.values():
+        for key, batch in batches.items():
             batch_size = batch.commit()
             if batch_size:
                 self.exec_stats.n_forward_calls += 1
                 self.exec_stats.n_fused_calls += 1
                 self.exec_stats.n_fused_sequences += batch_size
+            for (state, n_drafts), accepted in zip(
+                spec_queue.get(key, ()), batch.accepted_drafts
+            ):
+                events.extend(self._absorb_verified(state, n_drafts, accepted))
+        return events
+
+    def _plan_drafts(self, state: SequenceState) -> tuple[list[int], int | None]:
+        """Phase 0 of a speculative step: propose and clamp this sequence's drafts.
+
+        Returns ``(drafts, step_cost)`` where ``step_cost`` is the pool-page
+        cost of the whole verify run (``None`` defers to the session's own
+        single-token probe).  The draft window is clamped three ways so
+        that speculation can only ever *shrink* to plain decoding, never
+        diverge from it:
+
+        * decode budget — drafts beyond ``max_new_tokens`` could never be
+          emitted, so they are not proposed;
+        * cache capacity — the verify run's ``1 + k`` rows must fit, which
+          keeps the sequential path's ``cache_full`` semantics intact (a
+          sequence near its capacity degrades to ``k = 0``, i.e. exactly
+          the plain step);
+        * pool headroom — the run's new pages must be allocatable *now*,
+          under the round's reservation ledger, so drafting never claims
+          pages a sequential engine would not have been granted.
+
+        Sequences that cannot speculate — non-greedy sampling, backends
+        without verify support, no history to look up — return an empty
+        draft (the plain fused step).
+        """
+        spec = self.speculative
+        if spec is None:
+            return [], None
+        prepared = state.prepared
+        session = prepared.session
+        if (
+            not prepared.spec_capable
+            or prepared.cache is None
+            or prepared.prompt_ids is None
+            or session.finished
+            or not state.request.sampling.is_greedy
+        ):
+            return [], None
+        if (
+            spec.backends is not None
+            and state.request.backend.lower() not in spec.backends
+        ):
+            return [], None
+        cache = prepared.cache
+        # After this step's token, at most remaining_budget - 1 more tokens
+        # can ever be emitted; drafting past that is pure waste.
+        window = min(spec.k, session.remaining_budget - 1)
+        # The verify run appends 1 + window rows; keep it inside capacity so
+        # mid-verify acceptance can never outrun the sequential path's
+        # cache_full check (which this round's begin_step still performs).
+        window = min(window, cache.capacity - cache.length - 1)
+        if window < 1:
+            return [], None
+        block_cost = getattr(cache, "block_cost_for_tokens", None)
+        if block_cost is not None and self.pool is not None:
+            while window > 0 and not self.pool.can_allocate(block_cost(1 + window)):
+                window -= 1
+            if window < 1:
+                return [], None
+        history = list(prepared.prompt_ids)
+        history.extend(session.generated)
+        history.append(session.next_token)
+        drafts = self._proposer.propose(history, window)[:window]
+        if not drafts:
+            return [], None
+        cost = block_cost(1 + len(drafts)) if block_cost is not None else None
+        return [int(t) for t in drafts], cost
+
+    def _absorb_verified(
+        self, state: SequenceState, n_drafts: int, accepted: list[int]
+    ) -> list[TokenEvent]:
+        """Phase 3 of a speculative step: emit survivors, roll back the rest.
+
+        The verify forward appended one cache row per drafted token; the
+        greedy verification (:meth:`~repro.model.decode.DecodeSession.
+        complete_verify`) accepted a prefix of them.  Accepted tokens are
+        emitted through the normal streaming path (they are *exactly* the
+        tokens sequential decoding would have produced); the rejected
+        tail's rows are truncated from the cache — and their pages returned
+        to the pool — as if they had never been computed.
+        """
+        events: list[TokenEvent] = []
+        stats = state.stats
+        stats.drafted_tokens += n_drafts
+        stats.accepted_tokens += len(accepted)
+        self.exec_stats.n_drafted_tokens += n_drafts
+        self.exec_stats.n_accepted_tokens += len(accepted)
+        for token in accepted:
+            events.append(self._emit_token(state, token))
+        n_rejected = n_drafts - len(accepted)
+        if n_rejected:
+            cache = state.prepared.cache
+            cache.truncate(cache.length - n_rejected)
+        if state.prepared.session.finished:
+            events.append(self._finalize(state))
         return events
 
     def _emit_token(self, state: SequenceState, token: int) -> TokenEvent:
