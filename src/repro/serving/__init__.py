@@ -18,6 +18,10 @@
   :class:`DraftProposer` registry (n-gram prompt lookup by default) and
   :class:`SpeculativeConfig`, driving multi-token verify forwards through
   the batched decode path with greedy (output-identical) verification.
+* :mod:`repro.serving.server` — the asyncio multi-tenant HTTP/SSE front
+  door over one stepping :class:`~repro.serving.engine.EngineCore`:
+  streaming with bounded backpressure, API-key tenants with quotas, and
+  cancel-on-disconnect (imported on demand; nothing here depends on it).
 """
 
 from repro.serving.backends import (
@@ -32,7 +36,7 @@ from repro.serving.backends import (
     prompt_token_ids,
     register_backend,
 )
-from repro.serving.engine import ExecutionStats, InferenceEngine
+from repro.serving.engine import EngineCore, ExecutionStats, InferenceEngine
 from repro.serving.spec import (
     DraftProposer,
     NgramProposer,
@@ -47,12 +51,19 @@ from repro.serving.request import (
     RequestStats,
     SamplingParams,
     TokenEvent,
+    WireFormatError,
+    request_from_wire,
+    result_to_wire,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, SequenceState
 
 __all__ = [
     "InferenceEngine",
+    "EngineCore",
     "ExecutionStats",
+    "WireFormatError",
+    "request_from_wire",
+    "result_to_wire",
     "PrefillJob",
     "GenerationRequest",
     "GenerationResult",

@@ -1,5 +1,14 @@
 """The serving engine: request admission, continuous batching, streaming.
 
+The engine is split in two along the host boundary: :class:`EngineCore`
+is the pure per-step core — ``submit`` / ``step`` / ``cancel`` /
+``pause`` / ``resume`` and result retrieval, never blocking, owning no
+threads — and :class:`InferenceEngine` is the blocking host shell adding
+the synchronous ``stream`` / ``run`` / ``run_batch`` drivers.  Hosts with
+their own event loop (the asyncio front door in
+:mod:`repro.serving.server`, a future router/worker transport) drive an
+:class:`EngineCore` directly.
+
 :class:`InferenceEngine` is the public entry point of the redesigned
 inference API.  It owns the model/tokenizer substrate, one Cocktail
 quantizer (shared by the ``"dense"``/``"blockwise"``/``"cocktail"``
@@ -45,7 +54,12 @@ from repro.serving.backends import (
     backend_names,
     create_backend,
 )
-from repro.serving.request import GenerationRequest, GenerationResult, TokenEvent
+from repro.serving.request import (
+    GenerationRequest,
+    GenerationResult,
+    RequestStats,
+    TokenEvent,
+)
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     SequenceState,
@@ -115,8 +129,18 @@ class ExecutionStats:
         return self.n_forward_calls / self.n_decode_tokens
 
 
-class InferenceEngine:
-    """Serves generation requests with continuous batching.
+class EngineCore:
+    """The pure per-step serving core: submit / step / cancel / results.
+
+    ``EngineCore`` is deliberately *host-agnostic*: it never blocks, never
+    sleeps and owns no threads or sockets — one call to :meth:`step`
+    performs exactly one admission + decode round and returns the token
+    events it produced.  Everything that drives the core — the blocking
+    convenience loops of :class:`InferenceEngine`, the asyncio front door
+    in :mod:`repro.serving.server`, and eventually a router/worker
+    transport — is a *host shell* layered on top of this class.  Keeping
+    the boundary here is what lets one stepping core be multiplexed by
+    any event loop without the core knowing.
 
     Parameters
     ----------
@@ -423,8 +447,17 @@ class InferenceEngine:
 
     @property
     def has_pending(self) -> bool:
-        """Whether any submitted request is still waiting or running."""
+        """Whether any submitted request is still waiting, running or held."""
         return self.scheduler.has_work
+
+    @property
+    def has_runnable(self) -> bool:
+        """Whether a :meth:`step` could make progress right now.
+
+        Held (paused) requests keep :attr:`has_pending` true but are not
+        runnable; a host loop waits for a resume instead of spinning.
+        """
+        return self.scheduler.has_runnable
 
     @property
     def n_running(self) -> int:
@@ -1001,6 +1034,79 @@ class InferenceEngine:
         )
         del self._states[request_id]
         return terminal_event(state, "cancelled")
+
+    # -- pause / resume --------------------------------------------------------
+
+    def pause(self, request_id: str) -> None:
+        """Hold a request out of scheduling until :meth:`resume`.
+
+        A running request is preempted first (swap when the backend
+        supports it — its pages move to the host store and restore without
+        recompute; recompute otherwise), an in-flight chunked prefill
+        releases its partial pages, a waiting request simply leaves the
+        queue.  Either way the request keeps its identity, its streamed
+        tokens and its FIFO priority, but consumes no decode slot, no pool
+        pages and no admission headroom while held.  This is the engine
+        half of slow-reader backpressure: a host whose consumer stops
+        draining pauses the request instead of buffering unboundedly or
+        stalling the step loop.
+
+        Pausing an already-held request is a no-op; unknown and finished
+        requests raise like :meth:`cancel`.
+        """
+        if request_id in self._results:
+            raise ValueError(f"request {request_id!r} has already finished")
+        state = self._states.get(request_id)
+        if state is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        if state in self.scheduler.held:
+            return
+        if state in self.scheduler.running:
+            self.scheduler.running.remove(state)
+            self._preempt(state)  # swap/release + requeue_front, like rebalance
+        elif state in self.scheduler.prefilling:
+            if state.prefill is not None:
+                state.prefill.release()
+                state.prefill = None
+            self.scheduler.prefill_to_waiting(state)
+        state.stats.n_pauses += 1
+        self.scheduler.hold(state)
+
+    def resume(self, request_id: str) -> None:
+        """Return a paused request to the front of the waiting queue.
+
+        Resuming a request that is not held is a no-op (it may have been
+        cancelled, or never paused); unknown IDs raise :class:`KeyError`
+        unless the request already finished while its consumer was away.
+        """
+        if request_id in self._results:
+            return
+        state = self._states.get(request_id)
+        if state is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        if state in self.scheduler.held:
+            self.scheduler.release_hold(state)
+
+    # -- introspection ---------------------------------------------------------
+
+    def request_stats(self, request_id: str) -> RequestStats:
+        """The live :class:`~repro.serving.request.RequestStats` of an
+        active request (finished requests carry theirs on the result)."""
+        state = self._states.get(request_id)
+        if state is None:
+            raise KeyError(f"unknown request_id {request_id!r}")
+        return state.stats
+
+
+class InferenceEngine(EngineCore):
+    """The blocking host shell over :class:`EngineCore`.
+
+    Adds the synchronous convenience drivers — :meth:`stream`, :meth:`run`
+    and :meth:`run_batch` — that call :meth:`~EngineCore.step` in a loop on
+    the caller's thread.  Scripts and tests use this class directly; the
+    asyncio front door (:mod:`repro.serving.server`) hosts the same core
+    behind a background step loop instead.
+    """
 
     # -- high-level entry points ---------------------------------------------
 

@@ -11,6 +11,7 @@ TPOT) measured by the engine.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -147,6 +148,13 @@ class RequestStats:
     #: the request was prepared; several for a metered long prompt).
     n_prefill_chunks: int = 0
     n_preemptions: int = 0
+    #: Host-initiated pauses (slow-reader backpressure): the request was
+    #: held out of scheduling until its consumer drained and resumed it.
+    #: A pause of a *running* request also counts one preemption.
+    n_pauses: int = 0
+    #: Tenant this request was accounted to, when it arrived through the
+    #: multi-tenant front door (``None`` for directly-submitted requests).
+    tenant: str | None = None
     #: Preemptions served by swapping pages to the host store (a subset of
     #: ``n_preemptions``; the remainder were recompute preemptions).
     n_swap_outs: int = 0
@@ -219,3 +227,235 @@ class GenerationResult:
     plan: KVQuantizationPlan | None = None
     stats: RequestStats = field(default_factory=RequestStats)
     details: dict = field(default_factory=dict, repr=False)
+
+
+# -- wire format --------------------------------------------------------------
+#
+# The serving front door (:mod:`repro.serving.server`) accepts JSON request
+# bodies; the mapping to :class:`GenerationRequest` / :class:`SamplingParams`
+# lives here, next to the objects it produces, so every transport shares one
+# boundary validation.  Malformed input raises :class:`WireFormatError` with
+# the offending parameter named — transports turn that into a structured 4xx
+# instead of ever surfacing an engine traceback.
+
+
+class WireFormatError(ValueError):
+    """A client payload failed boundary validation.
+
+    ``param`` names the offending field (``None`` for payload-level
+    problems such as a non-object body or an unknown field's name being
+    reported in the message only).
+    """
+
+    def __init__(self, message: str, *, param: str | None = None):
+        super().__init__(message)
+        self.param = param
+
+
+#: Every field a completion payload may carry.  ``stream`` is consumed by
+#: the transport (it selects SSE vs one-shot delivery), but it is accepted
+#: here so transports can hand the payload over whole.
+WIRE_FIELDS = frozenset(
+    {
+        "context",
+        "query",
+        "max_tokens",
+        "backend",
+        "model",
+        "temperature",
+        "top_k",
+        "seed",
+        "stop_on_special",
+        "stop_token_ids",
+        "stream",
+    }
+)
+
+
+def _wire_words(payload: dict, key: str) -> tuple[str, ...]:
+    """A required word sequence: a whitespace-split string or a str list."""
+    if key not in payload:
+        raise WireFormatError(f"missing required field {key!r}", param=key)
+    value = payload[key]
+    if isinstance(value, str):
+        return tuple(value.split())
+    if isinstance(value, (list, tuple)):
+        words = []
+        for item in value:
+            if not isinstance(item, str) or not item:
+                raise WireFormatError(
+                    f"{key!r} entries must be non-empty strings, got {item!r}",
+                    param=key,
+                )
+            words.append(item)
+        return tuple(words)
+    raise WireFormatError(
+        f"{key!r} must be a string or a list of words, got {type(value).__name__}",
+        param=key,
+    )
+
+
+def _wire_int(payload: dict, key: str, default: int, *, minimum: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(
+            f"{key!r} must be an integer, got {value!r}", param=key
+        )
+    if value < minimum:
+        raise WireFormatError(
+            f"{key!r} must be >= {minimum}, got {value}", param=key
+        )
+    return value
+
+
+def _wire_bool(payload: dict, key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise WireFormatError(
+            f"{key!r} must be a boolean, got {value!r}", param=key
+        )
+    return value
+
+
+def request_from_wire(
+    payload: dict,
+    *,
+    known_backends: Sequence[str] | None = None,
+    max_prompt_tokens: int | None = None,
+    max_new_tokens_limit: int | None = None,
+    request_id: str | None = None,
+) -> GenerationRequest:
+    """Build a validated :class:`GenerationRequest` from a JSON payload.
+
+    Every boundary check a front door needs happens here: unknown fields
+    are rejected by name, every field is type- and range-checked
+    (``max_tokens >= 1``, ``temperature > 0``, ``top_k >= 1``), the backend
+    must resolve against ``known_backends`` when given, and the prompt must
+    fit ``max_prompt_tokens``.  Failures raise :class:`WireFormatError`
+    with ``param`` set — never a bare engine ``ValueError`` mid-decode.
+
+    ``model`` is accepted as an alias of ``backend`` (OpenAI clients send
+    one); passing both with different values is an error.
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - WIRE_FIELDS
+    if unknown:
+        names = ", ".join(repr(name) for name in sorted(unknown))
+        raise WireFormatError(f"unknown field(s): {names}")
+
+    context = _wire_words(payload, "context")
+    query = _wire_words(payload, "query")
+    if not query:
+        raise WireFormatError("'query' must contain at least one word", param="query")
+    if max_prompt_tokens is not None:
+        n_prompt = len(context) + 1 + len(query)
+        if n_prompt > max_prompt_tokens:
+            raise WireFormatError(
+                f"prompt is {n_prompt} tokens; this server accepts at most "
+                f"{max_prompt_tokens}",
+                param="context",
+            )
+
+    backend = payload.get("backend")
+    model = payload.get("model")
+    if backend is not None and model is not None and backend != model:
+        raise WireFormatError(
+            f"'backend' ({backend!r}) and its alias 'model' ({model!r}) disagree",
+            param="backend",
+        )
+    backend = backend if backend is not None else (model if model is not None else "dense")
+    if not isinstance(backend, str) or not backend:
+        raise WireFormatError(
+            f"'backend' must be a non-empty string, got {backend!r}", param="backend"
+        )
+    if known_backends is not None and backend.lower() not in {
+        name.lower() for name in known_backends
+    }:
+        names = ", ".join(sorted(known_backends))
+        raise WireFormatError(
+            f"unknown backend {backend!r}; this server serves: {names}",
+            param="backend",
+        )
+
+    max_tokens = _wire_int(payload, "max_tokens", 128, minimum=1)
+    if max_new_tokens_limit is not None and max_tokens > max_new_tokens_limit:
+        raise WireFormatError(
+            f"'max_tokens' must be <= {max_new_tokens_limit}, got {max_tokens}",
+            param="max_tokens",
+        )
+    temperature = payload.get("temperature", 1.0)
+    if isinstance(temperature, bool) or not isinstance(temperature, (int, float)):
+        raise WireFormatError(
+            f"'temperature' must be a number, got {temperature!r}", param="temperature"
+        )
+    if not (temperature > 0) or not math.isfinite(temperature):
+        raise WireFormatError(
+            f"'temperature' must be a finite number > 0, got {temperature}",
+            param="temperature",
+        )
+    top_k = _wire_int(payload, "top_k", 1, minimum=1)
+    seed = _wire_int(payload, "seed", 0, minimum=0)
+    stop_on_special = _wire_bool(payload, "stop_on_special", True)
+    stop_ids = payload.get("stop_token_ids", ())
+    if not isinstance(stop_ids, (list, tuple)) or any(
+        isinstance(item, bool) or not isinstance(item, int) or item < 0
+        for item in stop_ids
+    ):
+        raise WireFormatError(
+            f"'stop_token_ids' must be a list of non-negative integers, "
+            f"got {stop_ids!r}",
+            param="stop_token_ids",
+        )
+
+    return GenerationRequest(
+        context,
+        query,
+        max_new_tokens=max_tokens,
+        backend=backend,
+        sampling=SamplingParams(
+            top_k=top_k, temperature=float(temperature), seed=seed
+        ),
+        stop_on_special=stop_on_special,
+        extra_stop_ids=tuple(stop_ids),
+        request_id=request_id,
+    )
+
+
+def result_to_wire(result: GenerationResult) -> dict:
+    """The OpenAI-style completion object of a finished request.
+
+    ``usage`` reports measured token counts; ``stats`` carries this
+    engine's serving latencies (seconds) for clients that want them.
+    """
+    stats = result.stats
+    return {
+        "id": result.request_id,
+        "object": "text_completion",
+        "model": result.backend,
+        "choices": [
+            {
+                "index": 0,
+                "text": result.answer_text,
+                "token_ids": list(result.token_ids),
+                "finish_reason": result.stopped_by,
+            }
+        ],
+        "usage": {
+            "prompt_tokens": result.n_prompt_tokens,
+            "completion_tokens": len(result.token_ids),
+            "total_tokens": result.n_prompt_tokens + len(result.token_ids),
+        },
+        "stats": {
+            "queue_seconds": stats.queue_seconds,
+            "ttft_seconds": stats.ttft_seconds,
+            "tpot_seconds": stats.tpot_seconds,
+            "total_seconds": stats.total_seconds,
+            "n_preemptions": stats.n_preemptions,
+            "n_pauses": stats.n_pauses,
+            "cached_tokens": stats.cached_tokens,
+            "tenant": stats.tenant,
+        },
+    }

@@ -149,11 +149,19 @@ class ContinuousBatchingScheduler:
         #: (chunked admission); they hold a slot and pin partial pages but
         #: do not decode yet.  Admission order, like ``running``.
         self.prefilling: list[SequenceState] = []
+        #: Requests a host explicitly paused (slow-reader backpressure):
+        #: alive but excluded from admission until resumed.
+        self.held: list[SequenceState] = []
 
     # -- queries -------------------------------------------------------------
 
     @property
     def has_work(self) -> bool:
+        return bool(self.waiting or self.running or self.prefilling or self.held)
+
+    @property
+    def has_runnable(self) -> bool:
+        """Whether a step could make progress (held requests cannot)."""
         return bool(self.waiting or self.running or self.prefilling)
 
     def live_tokens(self) -> int:
@@ -250,12 +258,30 @@ class ContinuousBatchingScheduler:
         """Drop a finished sequence from the running set."""
         self.running.remove(state)
 
+    def hold(self, state: SequenceState) -> None:
+        """Move a *waiting* request into the held set (must be waiting:
+        the engine first rolls a running/prefilling request back)."""
+        self.waiting.remove(state)
+        self.held.append(state)
+
+    def release_hold(self, state: SequenceState) -> None:
+        """Return a held request to the front of the waiting queue.
+
+        Front, not back: a held request was already admitted once (or was
+        next in line), so resuming restores its FIFO priority instead of
+        sending it behind traffic that arrived while it was paused.
+        """
+        self.held.remove(state)
+        self.waiting.appendleft(state)
+
     def discard(self, state: SequenceState) -> None:
         """Drop a cancelled request from whichever set currently holds it."""
         if state in self.running:
             self.running.remove(state)
         elif state in self.prefilling:
             self.prefilling.remove(state)
+        elif state in self.held:
+            self.held.remove(state)
         else:
             self.waiting.remove(state)
 

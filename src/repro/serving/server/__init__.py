@@ -1,0 +1,66 @@
+"""The asyncio multi-tenant serving front door.
+
+One stepping :class:`~repro.serving.engine.EngineCore` is multiplexed
+across many concurrent network clients:
+
+* :mod:`repro.serving.server.core` — :class:`ServerCore`, the background
+  engine-step loop fanning token events into bounded per-request
+  :class:`StreamHandle` queues (slow readers are paused, dropped or
+  cancelled per policy; the step loop never stalls).
+* :mod:`repro.serving.server.protocol` — :class:`ServingServer`, the
+  stdlib HTTP/1.1 + SSE shim: ``POST /v1/completions`` (streaming and
+  one-shot), ``GET /healthz``, ``GET /v1/stats``; client disconnects
+  cancel their request.
+* :mod:`repro.serving.server.tenants` — API-key authentication, per-tenant
+  concurrency/token quotas and measured usage accounting.
+* :mod:`repro.serving.server.errors` — the structured API error hierarchy
+  (4xx/5xx JSON bodies; engine tracebacks never leak).
+* :mod:`repro.serving.server.client` — a minimal asyncio client for
+  examples, benchmarks and tests.
+"""
+
+from repro.serving.server.core import (
+    SLOW_READER_POLICIES,
+    ServerCore,
+    StreamHandle,
+)
+from repro.serving.server.errors import (
+    ApiError,
+    AuthenticationError,
+    BadRequestError,
+    ConcurrencyLimitError,
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+    QuotaExceededError,
+    ServerOverloadedError,
+)
+from repro.serving.server.protocol import ServingServer
+from repro.serving.server.tenants import (
+    ANONYMOUS,
+    TenantRegistry,
+    TenantSpec,
+    TenantUsage,
+)
+
+__all__ = [
+    "ServerCore",
+    "StreamHandle",
+    "SLOW_READER_POLICIES",
+    "ServingServer",
+    "TenantRegistry",
+    "TenantSpec",
+    "TenantUsage",
+    "ANONYMOUS",
+    "ApiError",
+    "AuthenticationError",
+    "BadRequestError",
+    "ConcurrencyLimitError",
+    "InternalError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "PayloadTooLargeError",
+    "QuotaExceededError",
+    "ServerOverloadedError",
+]

@@ -1,0 +1,192 @@
+"""A minimal asyncio client for the serving front door.
+
+Just enough HTTP/1.1 + SSE to drive :class:`ServingServer` from examples,
+benchmarks and tests without external dependencies — not a general HTTP
+client.  One connection per call, mirroring the server's
+``Connection: close`` discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class HttpResponse:
+    """Status + parsed JSON body of one exchange."""
+
+    status: int
+    payload: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def _request_head(
+    method: str, path: str, *, api_key: str | None, body: bytes | None
+) -> bytes:
+    lines = [f"{method} {path} HTTP/1.1", "Host: localhost"]
+    if api_key is not None:
+        lines.append(f"Authorization: Bearer {api_key}")
+    if body is not None:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _read_head(reader: asyncio.StreamReader) -> tuple[int, dict[str, str]]:
+    status_line = await reader.readline()
+    status = int(status_line.decode("latin-1").split(" ")[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    body: dict | None = None,
+    api_key: str | None = None,
+) -> HttpResponse:
+    """One JSON-in / JSON-out exchange (non-streaming)."""
+    raw = None if body is None else json.dumps(body).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_head(method, path, api_key=api_key, body=raw))
+        if raw is not None:
+            writer.write(raw)
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        if "content-length" in headers:
+            payload_bytes = await reader.readexactly(int(headers["content-length"]))
+        else:
+            payload_bytes = await reader.read()
+        return HttpResponse(status, json.loads(payload_bytes) if payload_bytes else {})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class CompletionStream:
+    """A streaming ``/v1/completions`` call with manual lifecycle control.
+
+    Use :meth:`open` to send the request, iterate :meth:`chunks` for the
+    parsed SSE events, and :meth:`abort` to drop the connection mid-stream
+    (how a disconnecting client is simulated).  On a non-200 response,
+    :attr:`error` holds the structured error body and :meth:`chunks`
+    yields nothing.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        status: int,
+        error: dict | None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.status = status
+        self.error = error
+        self.closed = False
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        payload: dict,
+        *,
+        api_key: str | None = None,
+    ) -> "CompletionStream":
+        body = json.dumps({**payload, "stream": True}).encode()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            _request_head("POST", "/v1/completions", api_key=api_key, body=body)
+        )
+        writer.write(body)
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        error = None
+        if status != 200:
+            if "content-length" in headers:
+                raw = await reader.readexactly(int(headers["content-length"]))
+            else:
+                raw = await reader.read()
+            error = json.loads(raw) if raw else {}
+        return cls(reader, writer, status, error)
+
+    async def chunks(self):
+        """Yield each SSE ``data:`` payload as a dict, until ``[DONE]``."""
+        if self.status != 200:
+            return
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                return  # server closed without [DONE] (e.g. we were cancelled)
+            line = line.strip()
+            if not line or not line.startswith(b"data: "):
+                continue
+            data = line[len(b"data: ") :]
+            if data == b"[DONE]":
+                return
+            yield json.loads(data)
+
+    async def abort(self) -> None:
+        """Hard-close the connection (simulates a client disconnect)."""
+        await self.close()
+
+    async def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def stream_completion(
+    host: str,
+    port: int,
+    payload: dict,
+    *,
+    api_key: str | None = None,
+) -> tuple[str, dict]:
+    """Stream one completion to the end; returns (text, final_chunk).
+
+    The text is the concatenation of every token chunk — byte-identical
+    to what the engine streamed.  Raises :class:`RuntimeError` on a
+    non-200 response, carrying the structured error payload.
+    """
+    stream = await CompletionStream.open(host, port, payload, api_key=api_key)
+    try:
+        if stream.status != 200:
+            raise RuntimeError(f"HTTP {stream.status}: {stream.error}")
+        pieces: list[str] = []
+        final: dict = {}
+        async for chunk in stream.chunks():
+            choice = chunk["choices"][0]
+            if choice.get("finish_reason") is not None:
+                final = chunk
+            else:
+                pieces.append(choice["text"])
+        return "".join(pieces), final
+    finally:
+        await stream.close()

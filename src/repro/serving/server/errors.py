@@ -1,0 +1,114 @@
+"""Structured API errors of the serving front door.
+
+Every failure a client can cause maps to an :class:`ApiError` subclass
+carrying an HTTP status and a stable machine-readable ``code``; the
+protocol layer serializes them as OpenAI-style JSON error bodies::
+
+    {"error": {"message": "...", "type": "invalid_request_error",
+               "code": "invalid_request", "param": "max_tokens"}}
+
+Engine internals never leak: boundary validation
+(:class:`~repro.serving.request.WireFormatError`) is wrapped into
+:class:`BadRequestError` before a request ever reaches the engine, and an
+unexpected server-side exception surfaces as a generic
+:class:`InternalError` (the traceback stays in the server log).
+"""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """Base class: an error with an HTTP status and a structured payload."""
+
+    status = 500
+    #: OpenAI-style coarse error family.
+    error_type = "api_error"
+    #: Stable machine-readable code for programmatic handling.
+    code = "internal_error"
+
+    def __init__(self, message: str, *, param: str | None = None):
+        super().__init__(message)
+        self.param = param
+
+    def to_payload(self) -> dict:
+        """The JSON body the protocol layer sends for this error."""
+        return {
+            "error": {
+                "message": str(self),
+                "type": self.error_type,
+                "code": self.code,
+                "param": self.param,
+            }
+        }
+
+
+class BadRequestError(ApiError):
+    """The request body failed boundary validation (HTTP 400)."""
+
+    status = 400
+    error_type = "invalid_request_error"
+    code = "invalid_request"
+
+
+class AuthenticationError(ApiError):
+    """Missing or unknown API key (HTTP 401)."""
+
+    status = 401
+    error_type = "authentication_error"
+    code = "invalid_api_key"
+
+
+class NotFoundError(ApiError):
+    """No route matches the request path (HTTP 404)."""
+
+    status = 404
+    error_type = "invalid_request_error"
+    code = "not_found"
+
+
+class MethodNotAllowedError(ApiError):
+    """The route exists but not for this HTTP method (HTTP 405)."""
+
+    status = 405
+    error_type = "invalid_request_error"
+    code = "method_not_allowed"
+
+
+class PayloadTooLargeError(ApiError):
+    """The request body exceeds the server's byte cap (HTTP 413)."""
+
+    status = 413
+    error_type = "invalid_request_error"
+    code = "payload_too_large"
+
+
+class QuotaExceededError(ApiError):
+    """The tenant's token budget cannot cover this request (HTTP 429)."""
+
+    status = 429
+    error_type = "rate_limit_error"
+    code = "quota_exceeded"
+
+
+class ConcurrencyLimitError(ApiError):
+    """The tenant is at its concurrent-request cap (HTTP 429)."""
+
+    status = 429
+    error_type = "rate_limit_error"
+    code = "concurrency_limit"
+
+
+class ServerOverloadedError(ApiError):
+    """The server cannot take new work right now (HTTP 503)."""
+
+    status = 503
+    error_type = "api_error"
+    code = "overloaded"
+
+
+class InternalError(ApiError):
+    """An unexpected server-side failure (HTTP 500, details withheld)."""
+
+    status = 500
+    error_type = "api_error"
+    code = "internal_error"

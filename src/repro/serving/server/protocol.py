@@ -1,0 +1,458 @@
+"""The HTTP/1.1 + SSE front door over a :class:`ServerCore`.
+
+A deliberately minimal, stdlib-only protocol shim built on
+``asyncio.start_server`` — no web framework, keeping the repo's
+numpy+scipy-only dependency story.  One connection carries one request
+(every response sends ``Connection: close``), which sidesteps keep-alive
+and pipelining while matching how the OpenAI client API is actually used
+per call.
+
+Routes
+------
+``POST /v1/completions``
+    OpenAI-style completion over the engine.  With ``"stream": true`` the
+    response is Server-Sent Events — one ``data:`` JSON chunk per decoded
+    token, a final chunk carrying ``finish_reason`` + ``usage``, then
+    ``data: [DONE]``.  Without it, one JSON completion object after the
+    request finishes.  Authentication is ``Authorization: Bearer <key>``
+    against the core's :class:`~repro.serving.server.tenants.TenantRegistry`.
+``GET /healthz``
+    Liveness: engine-thread status and active-request count.
+``GET /v1/stats``
+    Measured serving state: engine :class:`ExecutionStats`, pool and
+    prefix-cache counters, per-tenant usage, transport counters.
+
+Every client-caused failure is a structured JSON error
+(:mod:`repro.serving.server.errors`) — malformed bodies, unknown fields,
+bad parameter ranges and oversized prompts are rejected at this boundary
+with 4xx before touching the engine.  A client that disconnects
+mid-stream has its request cancelled (the transport watches the
+connection's read side for EOF), so its pool pages drain immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serving.request import (
+    GenerationResult,
+    TokenEvent,
+    WireFormatError,
+    request_from_wire,
+    result_to_wire,
+)
+from repro.serving.server.core import ServerCore, StreamHandle
+from repro.serving.server.errors import (
+    ApiError,
+    BadRequestError,
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    PayloadTooLargeError,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard caps on the request head, independent of the body cap.
+_MAX_HEADER_LINE = 8192
+_MAX_HEADERS = 64
+
+
+class ServingServer:
+    """Asyncio HTTP server multiplexing clients over one :class:`ServerCore`.
+
+    Parameters
+    ----------
+    core:
+        The server core (started by :meth:`start` if not already running).
+    host, port:
+        Bind address; port 0 (default) picks an ephemeral port, exposed
+        as :attr:`port` after :meth:`start`.
+    max_body_bytes:
+        Request-body cap (HTTP 413 beyond it).
+    max_prompt_tokens:
+        Prompt-size cap enforced at the boundary (HTTP 400 beyond it);
+        defaults to the engine model's sequence capacity.
+    max_new_tokens_limit:
+        Optional server-wide cap on a request's ``max_tokens`` ask.
+    """
+
+    def __init__(
+        self,
+        core: ServerCore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = 1 << 20,
+        max_prompt_tokens: int | None = None,
+        max_new_tokens_limit: int | None = None,
+    ):
+        self.core = core
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        if max_prompt_tokens is None:
+            # The engine could never serve a prompt beyond the model's
+            # sequence capacity; reject it at the door instead.
+            max_prompt_tokens = core.engine.model.config.max_seq_len
+        self.max_prompt_tokens = max_prompt_tokens
+        self.max_new_tokens_limit = max_new_tokens_limit
+        self._server: asyncio.AbstractServer | None = None
+        #: Transport counters (merged into ``/v1/stats``).
+        self.n_connections = 0
+        self.n_client_errors = 0
+        self.n_disconnect_cancels = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "ServingServer":
+        """Bind the listening socket and start the engine thread."""
+        self.core.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and shut the engine thread down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.core.close()
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.n_connections += 1
+        try:
+            try:
+                method, path, headers, body = await self._read_request(reader)
+            except ApiError as err:
+                self.n_client_errors += 1
+                await self._send_json(writer, err.status, err.to_payload())
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return  # the client went away (or spoke garbage) mid-head
+            try:
+                await self._route(reader, writer, method, path, headers, body)
+            except ApiError as err:
+                if err.status < 500:
+                    self.n_client_errors += 1
+                await self._send_json(writer, err.status, err.to_payload())
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass  # disconnect during the response; nothing left to say
+            except Exception as exc:  # noqa: BLE001 — connection must not leak
+                err = InternalError(f"unhandled server error: {type(exc).__name__}")
+                await self._send_json(writer, err.status, err.to_payload())
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("empty connection")
+        if len(request_line) > _MAX_HEADER_LINE:
+            raise BadRequestError("request line too long")
+        parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise BadRequestError("malformed HTTP request line")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_HEADER_LINE or len(headers) >= _MAX_HEADERS:
+                raise BadRequestError("request headers too large")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise BadRequestError(f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise BadRequestError("invalid Content-Length") from None
+            if length < 0:
+                raise BadRequestError("invalid Content-Length")
+            if length > self.max_body_bytes:
+                raise PayloadTooLargeError(
+                    f"request body is {length} bytes; this server accepts "
+                    f"at most {self.max_body_bytes}"
+                )
+            body = await reader.readexactly(length)
+        return method, path.split("?", 1)[0], headers, body
+
+    async def _route(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        if path == "/healthz":
+            if method != "GET":
+                raise MethodNotAllowedError(f"{path} only supports GET")
+            await self._send_json(writer, 200, self._health_payload())
+        elif path == "/v1/stats":
+            if method != "GET":
+                raise MethodNotAllowedError(f"{path} only supports GET")
+            payload = self.core.stats_payload()
+            payload["http"] = {
+                "n_connections": self.n_connections,
+                "n_client_errors": self.n_client_errors,
+                "n_disconnect_cancels": self.n_disconnect_cancels,
+            }
+            await self._send_json(writer, 200, payload)
+        elif path == "/v1/completions":
+            if method != "POST":
+                raise MethodNotAllowedError(f"{path} only supports POST")
+            await self._completions(reader, writer, headers, body)
+        else:
+            raise NotFoundError(f"no route for {path}")
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok" if self.core.running else "stopped",
+            "engine_thread_alive": self.core.running,
+            "n_active_requests": self.core.n_active,
+            "last_error": self.core.last_error,
+        }
+
+    # -- /v1/completions -------------------------------------------------------
+
+    async def _completions(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        tenant = self.core.tenants.authenticate(_bearer_key(headers))
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise BadRequestError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        stream = payload.get("stream", False)
+        if not isinstance(stream, bool):
+            raise BadRequestError("'stream' must be a boolean", param="stream")
+        try:
+            request = request_from_wire(
+                payload,
+                known_backends=self.core.engine.backend_names(),
+                max_prompt_tokens=self.max_prompt_tokens,
+                max_new_tokens_limit=self.max_new_tokens_limit,
+            )
+        except WireFormatError as exc:
+            raise BadRequestError(str(exc), param=exc.param) from None
+        handle = self.core.submit(request, tenant=tenant.name)
+        if stream:
+            await self._stream_response(reader, writer, handle)
+        else:
+            await self._oneshot_response(reader, writer, handle)
+
+    async def _oneshot_response(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handle: StreamHandle,
+    ) -> None:
+        wakeup = _Wakeup(handle)
+        disconnect = asyncio.ensure_future(reader.read())
+        try:
+            while not handle.finished:
+                if await wakeup.wait_or_disconnect(disconnect):
+                    self._cancel_for_disconnect(handle)
+                    return
+                handle.pop_events()  # discard; only the result matters
+            result = self._finished_result(handle)
+            await self._send_json(writer, 200, result_to_wire(result))
+        finally:
+            wakeup.detach()
+            disconnect.cancel()
+
+    async def _stream_response(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        handle: StreamHandle,
+    ) -> None:
+        wakeup = _Wakeup(handle)
+        disconnect = asyncio.ensure_future(reader.read())
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            await writer.drain()
+            terminal: TokenEvent | None = None
+            while terminal is None:
+                for event in handle.pop_events():
+                    if event.end_of_stream:
+                        terminal = event
+                        break
+                    writer.write(_sse_chunk(_token_chunk(handle, event)))
+                if terminal is not None:
+                    break
+                await writer.drain()
+                if await wakeup.wait_or_disconnect(disconnect):
+                    self._cancel_for_disconnect(handle)
+                    return
+            result = self._finished_result(handle)
+            writer.write(_sse_chunk(_final_chunk(result)))
+            writer.write(b"data: [DONE]\n\n")
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self._cancel_for_disconnect(handle)
+        finally:
+            wakeup.detach()
+            disconnect.cancel()
+
+    def _cancel_for_disconnect(self, handle: StreamHandle) -> None:
+        if not handle.finished:
+            self.n_disconnect_cancels += 1
+            self.core.cancel(handle.request_id)
+
+    def _finished_result(self, handle: StreamHandle) -> GenerationResult:
+        if handle.error is not None:
+            raise handle.error
+        if handle.result is None:
+            raise InternalError(
+                f"request {handle.request_id!r} finished without a result"
+            )
+        return handle.result
+
+    # -- response plumbing -----------------------------------------------------
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # the client is gone; there is nobody to tell
+
+
+class _Wakeup:
+    """Bridges a handle's engine-thread notify into this event loop."""
+
+    def __init__(self, handle: StreamHandle):
+        self._event = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._handle = handle
+        handle.set_notify(self._notify)
+
+    def _notify(self) -> None:
+        self._loop.call_soon_threadsafe(self._event.set)
+
+    def detach(self) -> None:
+        self._handle.set_notify(None)
+
+    async def wait_or_disconnect(self, disconnect: "asyncio.Future") -> bool:
+        """Wait for new events; returns True if the client disconnected."""
+        self._event.clear()
+        if self._handle.finished or self._handle._backlog():
+            return False  # events raced in before the clear; don't sleep
+        waiter = asyncio.ensure_future(self._event.wait())
+        done, _pending = await asyncio.wait(
+            {waiter, disconnect}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if disconnect in done:
+            waiter.cancel()
+            return True
+        return False
+
+
+def _bearer_key(headers: dict[str, str]) -> str | None:
+    auth = headers.get("authorization")
+    if auth is None:
+        return None
+    scheme, _, key = auth.partition(" ")
+    if scheme.lower() != "bearer" or not key.strip():
+        return None
+    return key.strip()
+
+
+def _sse_chunk(payload: dict) -> bytes:
+    return b"data: " + json.dumps(payload).encode() + b"\n\n"
+
+
+def _token_chunk(handle: StreamHandle, event: TokenEvent) -> dict:
+    return {
+        "id": handle.request_id,
+        "object": "text_completion.chunk",
+        "choices": [
+            {
+                "index": 0,
+                "text": event.text,
+                "token_id": event.token_id,
+                "token_index": event.index,
+                "finish_reason": None,
+            }
+        ],
+    }
+
+
+def _final_chunk(result: GenerationResult) -> dict:
+    wire = result_to_wire(result)
+    return {
+        "id": result.request_id,
+        "object": "text_completion.chunk",
+        "choices": [
+            {"index": 0, "text": "", "finish_reason": result.stopped_by}
+        ],
+        "usage": wire["usage"],
+        "stats": wire["stats"],
+    }

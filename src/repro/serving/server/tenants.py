@@ -1,0 +1,243 @@
+"""Multi-tenant accounting: API keys, quotas, usage.
+
+A :class:`TenantSpec` declares who may call the server and how much they
+may use: an API key, a concurrent-request cap and a lifetime token budget.
+The :class:`TenantRegistry` authenticates keys, admits or rejects requests
+against those limits and keeps measured :class:`TenantUsage` — all under
+one lock, because admission runs on the asyncio connection handlers while
+completion accounting runs on the engine thread.
+
+Admission is *pessimistic* about the budget: a request is only admitted if
+the remaining budget covers its prompt plus its full ``max_tokens`` ask,
+so a tenant can never overdraw mid-decode; the usage recorded at finish is
+the measured count (early stops cost only what they generated).
+
+An empty registry serves anonymously: every request is accounted to the
+built-in ``"anonymous"`` tenant with no limits.  Registering any tenant
+makes an API key mandatory (pass ``allow_anonymous=True`` to keep an open
+lane next to keyed tenants).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.serving.server.errors import (
+    AuthenticationError,
+    ConcurrencyLimitError,
+    QuotaExceededError,
+)
+
+#: Name of the built-in unlimited tenant used when no API key is required.
+ANONYMOUS = "anonymous"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static configuration of one tenant."""
+
+    name: str
+    #: Bearer key presented in the ``Authorization`` header (``None`` only
+    #: for the built-in anonymous tenant).
+    api_key: str | None = None
+    #: Cap on simultaneously active requests (``None`` = unlimited).
+    max_concurrent: int | None = None
+    #: Per-request cap on ``max_tokens`` (``None`` = server default only).
+    max_new_tokens: int | None = None
+    #: Lifetime budget on total (prompt + completion) tokens
+    #: (``None`` = unlimited).
+    token_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        for attr in ("max_concurrent", "max_new_tokens", "token_budget"):
+            value = getattr(self, attr)
+            if value is not None and value < 1:
+                raise ValueError(f"{attr} must be >= 1, got {value}")
+
+
+@dataclass
+class TenantUsage:
+    """Measured per-tenant serving counters."""
+
+    n_submitted: int = 0
+    n_completed: int = 0
+    n_cancelled: int = 0
+    #: Admissions refused at the door (auth passed, limits did not).
+    n_rejected: int = 0
+    #: Requests currently active (admitted, not yet finished).
+    n_active: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def to_payload(self) -> dict:
+        """JSON-ready snapshot for ``/v1/stats``."""
+        return {
+            "n_submitted": self.n_submitted,
+            "n_completed": self.n_completed,
+            "n_cancelled": self.n_cancelled,
+            "n_rejected": self.n_rejected,
+            "n_active": self.n_active,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "total_tokens": self.total_tokens,
+        }
+
+
+class TenantRegistry:
+    """Thread-safe tenant store: authentication, admission, accounting."""
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantSpec] = (),
+        *,
+        allow_anonymous: bool | None = None,
+    ):
+        self._lock = threading.Lock()
+        self._by_name: dict[str, TenantSpec] = {}
+        self._by_key: dict[str, TenantSpec] = {}
+        self._usage: dict[str, TenantUsage] = {}
+        for spec in tenants:
+            self.register(spec)
+        if allow_anonymous is None:
+            allow_anonymous = not self._by_name
+        self.allow_anonymous = allow_anonymous
+        if allow_anonymous:
+            anonymous = TenantSpec(ANONYMOUS)
+            self._by_name[ANONYMOUS] = anonymous
+            self._usage[ANONYMOUS] = TenantUsage()
+
+    def register(self, spec: TenantSpec) -> None:
+        """Add one tenant; duplicate names or keys are configuration bugs."""
+        if spec.api_key is None:
+            raise ValueError(f"tenant {spec.name!r} needs an api_key")
+        with self._lock:
+            if spec.name in self._by_name:
+                raise ValueError(f"duplicate tenant name {spec.name!r}")
+            if spec.api_key in self._by_key:
+                raise ValueError(f"duplicate api_key for tenant {spec.name!r}")
+            self._by_name[spec.name] = spec
+            self._by_key[spec.api_key] = spec
+            self._usage[spec.name] = TenantUsage()
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._by_name))
+
+    def spec(self, name: str) -> TenantSpec:
+        with self._lock:
+            return self._by_name[name]
+
+    # -- the request path ------------------------------------------------------
+
+    def authenticate(self, api_key: str | None) -> TenantSpec:
+        """Resolve an ``Authorization: Bearer`` key to its tenant.
+
+        ``None`` (no header) resolves to the anonymous tenant when the
+        registry allows one; otherwise — and for any unknown key — the
+        request fails with HTTP 401.
+        """
+        with self._lock:
+            if api_key is None:
+                if self.allow_anonymous:
+                    return self._by_name[ANONYMOUS]
+                raise AuthenticationError(
+                    "missing API key: pass 'Authorization: Bearer <key>'"
+                )
+            spec = self._by_key.get(api_key)
+        if spec is None:
+            raise AuthenticationError("unknown API key")
+        return spec
+
+    def admit(
+        self, name: str, *, prompt_tokens: int, max_new_tokens: int
+    ) -> None:
+        """Charge one admission against ``name``'s limits, or refuse it.
+
+        Raises :class:`ConcurrencyLimitError` at the concurrent-request
+        cap and :class:`QuotaExceededError` when the remaining token
+        budget cannot cover ``prompt_tokens + max_new_tokens`` (or the
+        per-request ``max_new_tokens`` cap is exceeded).  A refusal counts
+        into ``n_rejected``; an admission must later be balanced by
+        :meth:`finish`.
+        """
+        with self._lock:
+            spec = self._by_name[name]
+            usage = self._usage[name]
+            try:
+                if (
+                    spec.max_concurrent is not None
+                    and usage.n_active >= spec.max_concurrent
+                ):
+                    raise ConcurrencyLimitError(
+                        f"tenant {name!r} is at its concurrency limit "
+                        f"({spec.max_concurrent} active requests)"
+                    )
+                if (
+                    spec.max_new_tokens is not None
+                    and max_new_tokens > spec.max_new_tokens
+                ):
+                    raise QuotaExceededError(
+                        f"tenant {name!r} may request at most "
+                        f"{spec.max_new_tokens} new tokens, asked for "
+                        f"{max_new_tokens}",
+                        param="max_tokens",
+                    )
+                if spec.token_budget is not None:
+                    asked = prompt_tokens + max_new_tokens
+                    remaining = spec.token_budget - usage.total_tokens
+                    if asked > remaining:
+                        raise QuotaExceededError(
+                            f"tenant {name!r} has {max(remaining, 0)} tokens of "
+                            f"budget left; this request needs up to {asked}"
+                        )
+            except Exception:
+                usage.n_rejected += 1
+                raise
+            usage.n_submitted += 1
+            usage.n_active += 1
+
+    def finish(
+        self,
+        name: str,
+        *,
+        prompt_tokens: int,
+        completion_tokens: int,
+        cancelled: bool = False,
+    ) -> None:
+        """Balance one admission with its measured outcome."""
+        with self._lock:
+            usage = self._usage[name]
+            usage.n_active -= 1
+            usage.prompt_tokens += prompt_tokens
+            usage.completion_tokens += completion_tokens
+            if cancelled:
+                usage.n_cancelled += 1
+            else:
+                usage.n_completed += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def usage(self, name: str) -> TenantUsage:
+        """A point-in-time copy of ``name``'s usage counters."""
+        with self._lock:
+            usage = self._usage[name]
+            return TenantUsage(**{f.name: getattr(usage, f.name) for f in _FIELDS})
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready usage of every tenant, keyed by name."""
+        with self._lock:
+            return {
+                name: usage.to_payload() for name, usage in sorted(self._usage.items())
+            }
+
+
+_FIELDS = tuple(TenantUsage.__dataclass_fields__.values())

@@ -1,0 +1,878 @@
+"""The serving front door: tenants, wire format, ServerCore, HTTP/SSE.
+
+Four layers, tested inside-out:
+
+* :class:`TenantRegistry` units — authentication, quota/concurrency
+  admission, measured accounting;
+* the wire-format boundary (``request_from_wire`` / ``result_to_wire``) —
+  every malformed payload is a named :class:`WireFormatError`, never an
+  engine traceback;
+* :class:`ServerCore` — the background step loop: stream parity against a
+  direct :meth:`InferenceEngine.stream`, slow-reader backpressure
+  (pause / drop / cancel), cancellation with pool-drain assertions;
+* :class:`ServingServer` over real sockets — SSE streaming byte-identical
+  to the engine, structured 4xx, API-key tenants with 429 quotas,
+  cancel-on-client-disconnect, and a >=32-client concurrent load test
+  whose stats must reconcile exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.config import CocktailConfig
+from repro.serving import (
+    GenerationRequest,
+    InferenceEngine,
+    SamplingParams,
+    WireFormatError,
+    request_from_wire,
+    result_to_wire,
+)
+from repro.serving.server import (
+    AuthenticationError,
+    ConcurrencyLimitError,
+    QuotaExceededError,
+    ServerCore,
+    ServerOverloadedError,
+    ServingServer,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.serving.server.client import (
+    CompletionStream,
+    request_json,
+    stream_completion,
+)
+
+
+def make_engine(retrieval_model, tokenizer, vocab, **kwargs):
+    return InferenceEngine(
+        retrieval_model,
+        tokenizer,
+        CocktailConfig(chunk_size=16),
+        lexicon=vocab.lexicon,
+        **kwargs,
+    )
+
+
+def sample_request(sample, *, n=8, seed=0, temperature=1.0, top_k=1, backend="dense"):
+    return GenerationRequest(
+        sample.context_words[:48],
+        sample.query_words,
+        max_new_tokens=n,
+        backend=backend,
+        sampling=SamplingParams(top_k=top_k, temperature=temperature, seed=seed),
+    )
+
+
+def wire_payload(sample, **overrides):
+    payload = {
+        "context": list(sample.context_words[:48]),
+        "query": list(sample.query_words),
+        "max_tokens": 8,
+    }
+    payload.update(overrides)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# TenantRegistry
+# ---------------------------------------------------------------------------
+
+
+class TestTenantRegistry:
+    def test_empty_registry_serves_anonymous(self):
+        registry = TenantRegistry()
+        spec = registry.authenticate(None)
+        assert spec.name == "anonymous"
+        registry.admit("anonymous", prompt_tokens=100, max_new_tokens=50)
+        registry.finish("anonymous", prompt_tokens=100, completion_tokens=7)
+        usage = registry.usage("anonymous")
+        assert usage.n_completed == 1
+        assert usage.total_tokens == 107
+
+    def test_keyed_registry_requires_a_key(self):
+        registry = TenantRegistry([TenantSpec("acme", api_key="k-acme")])
+        assert registry.authenticate("k-acme").name == "acme"
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(None)
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("k-wrong")
+
+    def test_allow_anonymous_keeps_an_open_lane(self):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k-acme")], allow_anonymous=True
+        )
+        assert registry.authenticate(None).name == "anonymous"
+        assert registry.authenticate("k-acme").name == "acme"
+
+    def test_register_rejects_duplicates_and_keyless_specs(self):
+        registry = TenantRegistry([TenantSpec("acme", api_key="k-acme")])
+        with pytest.raises(ValueError, match="needs an api_key"):
+            registry.register(TenantSpec("other"))
+        with pytest.raises(ValueError, match="duplicate tenant name"):
+            registry.register(TenantSpec("acme", api_key="k-2"))
+        with pytest.raises(ValueError, match="duplicate api_key"):
+            registry.register(TenantSpec("other", api_key="k-acme"))
+
+    def test_spec_validates_limits(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", api_key="k", max_concurrent=0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", api_key="k", token_budget=0)
+        with pytest.raises(ValueError):
+            TenantSpec("")
+
+    def test_concurrency_cap_rejects_and_counts(self):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", max_concurrent=2)]
+        )
+        registry.admit("acme", prompt_tokens=10, max_new_tokens=5)
+        registry.admit("acme", prompt_tokens=10, max_new_tokens=5)
+        with pytest.raises(ConcurrencyLimitError):
+            registry.admit("acme", prompt_tokens=10, max_new_tokens=5)
+        assert registry.usage("acme").n_rejected == 1
+        registry.finish("acme", prompt_tokens=10, completion_tokens=5)
+        registry.admit("acme", prompt_tokens=10, max_new_tokens=5)  # slot freed
+
+    def test_per_request_token_cap(self):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", max_new_tokens=16)]
+        )
+        with pytest.raises(QuotaExceededError) as excinfo:
+            registry.admit("acme", prompt_tokens=10, max_new_tokens=17)
+        assert excinfo.value.param == "max_tokens"
+
+    def test_budget_admission_is_pessimistic_accounting_is_measured(self):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", token_budget=100)]
+        )
+        # 60 prompt + 50 ask could overdraw a 100-token budget: refused.
+        with pytest.raises(QuotaExceededError):
+            registry.admit("acme", prompt_tokens=60, max_new_tokens=50)
+        registry.admit("acme", prompt_tokens=60, max_new_tokens=30)
+        # The request stopped early: only the measured 5 tokens are charged,
+        # leaving room the pessimistic ask would have denied.
+        registry.finish("acme", prompt_tokens=60, completion_tokens=5)
+        registry.admit("acme", prompt_tokens=20, max_new_tokens=15)
+        usage = registry.usage("acme")
+        assert usage.total_tokens == 65
+        assert usage.n_rejected == 1
+
+    def test_snapshot_is_json_ready(self):
+        registry = TenantRegistry([TenantSpec("acme", api_key="k")])
+        snap = registry.snapshot()
+        assert set(snap) == {"acme"}
+        assert snap["acme"]["n_submitted"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestWireFormat:
+    def test_minimal_payload_builds_a_request(self):
+        request = request_from_wire({"context": "a b c", "query": "d e"})
+        assert request.context_words == ("a", "b", "c")
+        assert request.query_words == ("d", "e")
+        assert request.max_new_tokens == 128
+        assert request.backend == "dense"
+        assert request.sampling.is_greedy
+
+    def test_word_lists_and_strings_are_equivalent(self):
+        a = request_from_wire({"context": "a b", "query": "c"})
+        b = request_from_wire({"context": ["a", "b"], "query": ["c"]})
+        assert a.context_words == b.context_words
+        assert a.query_words == b.query_words
+
+    def test_unknown_fields_are_rejected_by_name(self):
+        with pytest.raises(WireFormatError, match="'bogus'"):
+            request_from_wire({"context": "a", "query": "b", "bogus": 1})
+
+    def test_missing_required_fields(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            request_from_wire({"query": "b"})
+        assert excinfo.value.param == "context"
+        with pytest.raises(WireFormatError) as excinfo:
+            request_from_wire({"context": "a"})
+        assert excinfo.value.param == "query"
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("max_tokens", 0),
+            ("max_tokens", -3),
+            ("max_tokens", True),
+            ("max_tokens", "8"),
+            ("temperature", 0),
+            ("temperature", -0.5),
+            ("temperature", float("nan")),
+            ("temperature", float("inf")),
+            ("temperature", "hot"),
+            ("top_k", 0),
+            ("seed", -1),
+            ("stop_on_special", "yes"),
+            ("stop_token_ids", [1, -2]),
+            ("stop_token_ids", "1,2"),
+            ("context", 7),
+            ("context", ["ok", ""]),
+            ("backend", ""),
+        ],
+    )
+    def test_bad_values_raise_named_errors(self, field, value):
+        payload = {"context": "a b", "query": "c", field: value}
+        with pytest.raises(WireFormatError) as excinfo:
+            request_from_wire(payload)
+        assert excinfo.value.param == field
+
+    def test_model_is_an_alias_of_backend(self):
+        request = request_from_wire({"context": "a", "query": "b", "model": "fp16"})
+        assert request.backend == "fp16"
+        with pytest.raises(WireFormatError, match="disagree"):
+            request_from_wire(
+                {"context": "a", "query": "b", "model": "fp16", "backend": "dense"}
+            )
+
+    def test_unknown_backend_is_rejected_against_the_registry(self):
+        with pytest.raises(WireFormatError, match="unknown backend"):
+            request_from_wire(
+                {"context": "a", "query": "b", "backend": "gpt5"},
+                known_backends=("dense", "fp16"),
+            )
+
+    def test_prompt_size_cap(self):
+        payload = {"context": "w " * 50, "query": "q"}
+        with pytest.raises(WireFormatError, match="at most 16"):
+            request_from_wire(payload, max_prompt_tokens=16)
+
+    def test_max_new_tokens_limit(self):
+        payload = {"context": "a", "query": "b", "max_tokens": 100}
+        with pytest.raises(WireFormatError) as excinfo:
+            request_from_wire(payload, max_new_tokens_limit=64)
+        assert excinfo.value.param == "max_tokens"
+
+    def test_sampling_fields_thread_through(self):
+        request = request_from_wire(
+            {
+                "context": "a",
+                "query": "b",
+                "temperature": 0.7,
+                "top_k": 40,
+                "seed": 11,
+                "stop_token_ids": [5, 9],
+                "stop_on_special": False,
+            }
+        )
+        assert request.sampling.temperature == pytest.approx(0.7)
+        assert request.sampling.top_k == 40
+        assert request.sampling.seed == 11
+        assert request.extra_stop_ids == (5, 9)
+        assert request.stop_on_special is False
+
+    def test_result_round_trip(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        result = engine.run(sample_request(tiny_samples[0]), pop=True)
+        wire = result_to_wire(result)
+        choice = wire["choices"][0]
+        assert choice["text"] == result.answer_text
+        assert choice["token_ids"] == list(result.token_ids)
+        assert choice["finish_reason"] == result.stopped_by
+        usage = wire["usage"]
+        assert usage["completion_tokens"] == len(result.token_ids)
+        assert usage["total_tokens"] == (
+            usage["prompt_tokens"] + usage["completion_tokens"]
+        )
+        assert wire["stats"]["n_preemptions"] == result.stats.n_preemptions
+
+
+# ---------------------------------------------------------------------------
+# ServerCore (no HTTP)
+# ---------------------------------------------------------------------------
+
+
+class TestServerCore:
+    def test_stream_matches_direct_engine_stream(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        reference = make_engine(retrieval_model, tokenizer, vocab)
+        expected = [
+            (event.token_id, event.text)
+            for event in reference.stream(
+                sample_request(tiny_samples[0], n=12, seed=5, temperature=0.8, top_k=40)
+            )
+            if event.token_id is not None
+        ]
+
+        core = ServerCore(make_engine(retrieval_model, tokenizer, vocab)).start()
+        try:
+            handle = core.submit(
+                sample_request(tiny_samples[0], n=12, seed=5, temperature=0.8, top_k=40)
+            )
+            streamed = []
+            while not handle.finished or handle._backlog():
+                for event in handle.pop_events():
+                    if event.token_id is not None:
+                        streamed.append((event.token_id, event.text))
+                handle.wait(0.05)
+            result = core.join(handle)
+            assert streamed == expected
+            assert [t for t, _ in streamed] == list(result.token_ids)
+            assert result.stats.tenant == "anonymous"
+        finally:
+            core.close()
+
+    def test_cancel_mid_flight_drains_the_pool(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        pool = engine.pool
+        core = ServerCore(engine).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=400))
+            # Let it decode a little before pulling the plug.
+            deadline = time.monotonic() + 10.0
+            while not handle.pop_events() and time.monotonic() < deadline:
+                time.sleep(0.005)
+            core.cancel(handle.request_id)
+            result = core.join(handle, timeout=10.0)
+            assert result.stopped_by == "cancelled"
+            assert handle.pop_events()[-1].is_last
+            usage = core.tenants.usage("anonymous")
+            assert usage.n_cancelled == 1
+            assert usage.n_active == 0
+            assert core.n_cancelled == 1
+        finally:
+            core.close()
+        # Every private page went back; only prefix-index retentions remain.
+        pool.assert_consistent()
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
+        assert pool.n_allocated == 0
+        assert pool.allocated_bytes() == 0
+
+    def test_cancel_after_finish_is_a_noop(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(make_engine(retrieval_model, tokenizer, vocab)).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=4))
+            result = core.join(handle, timeout=10.0)
+            core.cancel(handle.request_id)
+            time.sleep(0.05)
+            assert result.stopped_by != "cancelled"
+            assert core.n_cancelled == 0
+        finally:
+            core.close()
+
+    def test_pause_policy_holds_a_slow_reader_without_losing_tokens(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        reference = make_engine(retrieval_model, tokenizer, vocab)
+        expected = [
+            event.token_id
+            for event in reference.stream(sample_request(tiny_samples[0], n=24))
+            if event.token_id is not None
+        ]
+
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        core = ServerCore(
+            engine, max_stream_backlog=4, slow_reader_policy="pause"
+        ).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=24))
+            # Refuse to drain until the backpressure pause engages.
+            deadline = time.monotonic() + 10.0
+            while not handle.paused and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert handle.paused, "slow reader was never paused"
+            assert core.n_backpressure_pauses >= 1
+            # A held request must not block the step loop for others.
+            other = core.submit(sample_request(tiny_samples[1], n=4))
+            core.join(other, timeout=10.0)
+            # Now drain like a healthy reader: the stream resumes and every
+            # token arrives exactly once, in order.
+            streamed = []
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                streamed.extend(
+                    event.token_id
+                    for event in handle.pop_events()
+                    if event.token_id is not None
+                )
+                if handle.finished and not handle._backlog():
+                    break
+                handle.wait(0.05)
+            result = core.join(handle, timeout=10.0)
+            assert streamed == expected
+            assert result.stopped_by != "cancelled"
+            assert result.stats.n_pauses >= 1
+            assert handle.n_dropped == 0
+        finally:
+            core.close()
+
+    def test_drop_policy_sheds_overflow_but_always_terminates(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(
+            make_engine(retrieval_model, tokenizer, vocab),
+            max_stream_backlog=2,
+            slow_reader_policy="drop",
+        ).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=24))
+            result = core.join(handle, timeout=20.0)
+            assert result.stopped_by != "cancelled"
+            assert handle.n_dropped > 0
+            assert core.n_dropped_events == handle.n_dropped
+            events = handle.pop_events()
+            assert events[-1].is_last
+            # The queue never exceeded the bound (plus the terminal event).
+            assert len(events) <= 2 + 1
+        finally:
+            core.close()
+
+    def test_cancel_policy_kills_a_slow_reader(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        core = ServerCore(
+            engine, max_stream_backlog=2, slow_reader_policy="cancel"
+        ).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=64))
+            result = core.join(handle, timeout=20.0)
+            assert result.stopped_by == "cancelled"
+            assert core.n_cancelled == 1
+        finally:
+            core.close()
+        assert engine.pool.n_allocated == engine.prefix_cache.n_blocks
+
+    def test_max_active_cap_rejects_with_503(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(
+            make_engine(retrieval_model, tokenizer, vocab), max_active=1
+        ).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=32))
+            with pytest.raises(ServerOverloadedError):
+                core.submit(sample_request(tiny_samples[1], n=4))
+            core.join(handle, timeout=20.0)
+        finally:
+            core.close()
+
+    def test_tenant_concurrency_enforced_at_submit(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", max_concurrent=1)]
+        )
+        core = ServerCore(
+            make_engine(retrieval_model, tokenizer, vocab), tenants=registry
+        ).start()
+        try:
+            handle = core.submit(sample_request(tiny_samples[0], n=32), tenant="acme")
+            with pytest.raises(ConcurrencyLimitError):
+                core.submit(sample_request(tiny_samples[1], n=4), tenant="acme")
+            result = core.join(handle, timeout=20.0)
+            usage = registry.usage("acme")
+            assert usage.n_rejected == 1
+            assert usage.completion_tokens == len(result.token_ids)
+        finally:
+            core.close()
+
+    def test_close_cancels_in_flight_requests(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        core = ServerCore(engine).start()
+        handle = core.submit(sample_request(tiny_samples[0], n=500))
+        deadline = time.monotonic() + 10.0
+        while not handle.pop_events() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        core.close()
+        assert handle.finished
+        assert not core.running
+        assert engine.pool.n_allocated == engine.prefix_cache.n_blocks
+
+    def test_stats_payload_shape(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(make_engine(retrieval_model, tokenizer, vocab)).start()
+        try:
+            core.join(core.submit(sample_request(tiny_samples[0], n=4)), timeout=20.0)
+            payload = core.stats_payload()
+            assert payload["server"]["n_finished"] == 1
+            assert payload["engine"]["n_steps"] > 0
+            assert payload["pool"]["allocated_bytes"] >= 0
+            assert payload["prefix_cache"]["n_blocks"] >= 0
+            assert payload["tenants"]["anonymous"]["n_completed"] == 1
+        finally:
+            core.close()
+
+    def test_constructor_validation(self, vocab, tokenizer, retrieval_model):
+        engine = make_engine(retrieval_model, tokenizer, vocab)
+        with pytest.raises(ValueError):
+            ServerCore(engine, slow_reader_policy="block")
+        with pytest.raises(ValueError):
+            ServerCore(engine, max_stream_backlog=0)
+        with pytest.raises(ValueError):
+            ServerCore(engine, max_active=0)
+        with pytest.raises(RuntimeError):
+            ServerCore(engine).submit(GenerationRequest(("a",), ("b",)))
+
+
+# ---------------------------------------------------------------------------
+# HTTP/SSE server over real sockets
+# ---------------------------------------------------------------------------
+
+
+class TestHttpServer:
+    @pytest.fixture()
+    def engine_factory(self, vocab, tokenizer, retrieval_model):
+        def factory(**kwargs):
+            return make_engine(retrieval_model, tokenizer, vocab, **kwargs)
+
+        return factory
+
+    def test_streaming_is_byte_identical_to_engine_stream(
+        self, engine_factory, tiny_samples
+    ):
+        reference = engine_factory()
+        request = sample_request(
+            tiny_samples[0], n=12, seed=3, temperature=0.8, top_k=40
+        )
+        expected = "".join(
+            event.text
+            for event in reference.stream(request)
+            if event.token_id is not None
+        )
+
+        async def scenario():
+            async with ServingServer(ServerCore(engine_factory())) as server:
+                payload = wire_payload(
+                    tiny_samples[0],
+                    max_tokens=12,
+                    seed=3,
+                    temperature=0.8,
+                    top_k=40,
+                )
+                text, final = await stream_completion(
+                    server.host, server.port, payload
+                )
+                return text, final
+
+        text, final = asyncio.run(scenario())
+        assert text == expected
+        assert final["choices"][0]["finish_reason"] in ("max_tokens", "stop_token")
+        assert final["usage"]["completion_tokens"] == 12
+
+    def test_oneshot_completion(self, engine_factory, tiny_samples):
+        async def scenario():
+            async with ServingServer(ServerCore(engine_factory())) as server:
+                return await request_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/v1/completions",
+                    body=wire_payload(tiny_samples[0]),
+                )
+
+        resp = asyncio.run(scenario())
+        assert resp.status == 200
+        assert resp.payload["object"] == "text_completion"
+        assert resp.payload["usage"]["completion_tokens"] == 8
+        assert resp.payload["stats"]["tenant"] == "anonymous"
+
+    def test_routes_health_stats_404_405(self, engine_factory, tiny_samples):
+        async def scenario():
+            async with ServingServer(ServerCore(engine_factory())) as server:
+                host, port = server.host, server.port
+                health = await request_json(host, port, "GET", "/healthz")
+                stats = await request_json(host, port, "GET", "/v1/stats")
+                missing = await request_json(host, port, "GET", "/v1/nope")
+                wrong = await request_json(host, port, "POST", "/healthz")
+                return health, stats, missing, wrong
+
+        health, stats, missing, wrong = asyncio.run(scenario())
+        assert health.status == 200
+        assert health.payload["status"] == "ok"
+        assert health.payload["engine_thread_alive"] is True
+        assert stats.status == 200
+        assert {"server", "engine", "pool", "tenants", "http"} <= set(stats.payload)
+        assert missing.status == 404
+        assert missing.payload["error"]["code"] == "not_found"
+        assert wrong.status == 405
+
+    @pytest.mark.parametrize(
+        "mutate, expect_param",
+        [
+            (lambda p: p.update(bogus_field=1), None),
+            (lambda p: p.update(max_tokens=0), "max_tokens"),
+            (lambda p: p.update(temperature=-1), "temperature"),
+            (lambda p: p.update(top_k=0), "top_k"),
+            (lambda p: p.update(backend="gpt5"), "backend"),
+            (lambda p: p.pop("query"), "query"),
+        ],
+    )
+    def test_malformed_requests_get_structured_400(
+        self, engine_factory, tiny_samples, mutate, expect_param
+    ):
+        async def scenario():
+            async with ServingServer(ServerCore(engine_factory())) as server:
+                payload = wire_payload(tiny_samples[0])
+                mutate(payload)
+                return await request_json(
+                    server.host, server.port, "POST", "/v1/completions", body=payload
+                )
+
+        resp = asyncio.run(scenario())
+        assert resp.status == 400
+        error = resp.payload["error"]
+        assert error["type"] == "invalid_request_error"
+        assert error["param"] == expect_param
+        assert error["message"]
+
+    def test_oversized_prompt_is_rejected_at_the_door(
+        self, engine_factory, tiny_samples
+    ):
+        async def scenario():
+            core = ServerCore(engine_factory())
+            async with ServingServer(core, max_prompt_tokens=32) as server:
+                payload = wire_payload(tiny_samples[0], context="w " * 64)
+                resp = await request_json(
+                    server.host, server.port, "POST", "/v1/completions", body=payload
+                )
+                return resp, core.n_submitted
+
+        resp, n_submitted = asyncio.run(scenario())
+        assert resp.status == 400
+        assert resp.payload["error"]["param"] == "context"
+        assert n_submitted == 0  # rejected before touching the engine
+
+    def test_oversized_body_is_413(self, engine_factory, tiny_samples):
+        async def scenario():
+            async with ServingServer(
+                ServerCore(engine_factory()), max_body_bytes=256
+            ) as server:
+                payload = wire_payload(tiny_samples[0], context="w " * 600)
+                return await request_json(
+                    server.host, server.port, "POST", "/v1/completions", body=payload
+                )
+
+        resp = asyncio.run(scenario())
+        assert resp.status == 413
+        assert resp.payload["error"]["code"] == "payload_too_large"
+
+    def test_invalid_json_body_is_400(self, engine_factory):
+        async def scenario():
+            async with ServingServer(ServerCore(engine_factory())) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                body = b"{not json"
+                head = (
+                    "POST /v1/completions HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode()
+                writer.write(head + body)
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = asyncio.run(scenario())
+        assert b"400 Bad Request" in raw
+        assert b"not valid JSON" in raw
+
+    def test_api_keys_and_quota_enforcement(self, engine_factory, tiny_samples):
+        registry = TenantRegistry(
+            [
+                TenantSpec("acme", api_key="k-acme", token_budget=200),
+                TenantSpec("beta", api_key="k-beta"),
+            ]
+        )
+
+        async def scenario():
+            core = ServerCore(engine_factory(), tenants=registry)
+            async with ServingServer(core) as server:
+                host, port = server.host, server.port
+                payload = wire_payload(tiny_samples[0])
+                anon = await request_json(
+                    host, port, "POST", "/v1/completions", body=payload
+                )
+                bad_key = await request_json(
+                    host, port, "POST", "/v1/completions",
+                    body=payload, api_key="k-wrong",
+                )
+                ok = await request_json(
+                    host, port, "POST", "/v1/completions",
+                    body=payload, api_key="k-acme",
+                )
+                # The acme budget (200) cannot cover another prompt plus a
+                # 200-token ask on top of the measured usage so far.
+                over = await request_json(
+                    host, port, "POST", "/v1/completions",
+                    body={**payload, "max_tokens": 200}, api_key="k-acme",
+                )
+                stats = await request_json(host, port, "GET", "/v1/stats")
+                return anon, bad_key, ok, over, stats
+
+        anon, bad_key, ok, over, stats = asyncio.run(scenario())
+        assert anon.status == 401
+        assert bad_key.status == 401
+        assert ok.status == 200
+        assert over.status == 429
+        assert over.payload["error"]["code"] == "quota_exceeded"
+        tenants = stats.payload["tenants"]
+        assert tenants["acme"]["n_completed"] == 1
+        assert tenants["acme"]["n_rejected"] == 1
+        assert tenants["acme"]["completion_tokens"] == 8
+        assert tenants["beta"]["n_submitted"] == 0
+
+    def test_disconnect_mid_stream_cancels_and_drains(
+        self, engine_factory, tiny_samples
+    ):
+        engine = engine_factory()
+        pool = engine.pool
+        core = ServerCore(engine)
+
+        async def scenario():
+            async with ServingServer(core) as server:
+                payload = wire_payload(tiny_samples[0], max_tokens=600)
+                stream = await CompletionStream.open(
+                    server.host, server.port, payload
+                )
+                assert stream.status == 200
+                n_seen = 0
+                async for _chunk in stream.chunks():
+                    n_seen += 1
+                    if n_seen >= 2:
+                        break
+                await stream.abort()
+                # The transport notices the dropped connection and cancels;
+                # wait for the engine thread to retire the request.
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while core.n_active and (
+                    asyncio.get_running_loop().time() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+                return n_seen, server.n_disconnect_cancels
+
+        n_seen, n_disconnect_cancels = asyncio.run(scenario())
+        core.close()
+        assert n_seen == 2
+        assert n_disconnect_cancels == 1
+        assert core.n_cancelled == 1
+        usage = core.tenants.usage("anonymous")
+        assert usage.n_cancelled == 1
+        assert usage.n_active == 0
+        # The cancelled request's pages all drained back to the pool.
+        pool.assert_consistent()
+        engine.prefix_cache.assert_consistent()
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
+        assert pool.allocated_bytes() == 0
+
+    def test_32_concurrent_streams_reconcile(self, engine_factory, tiny_samples):
+        registry = TenantRegistry(
+            [
+                TenantSpec("acme", api_key="k-acme"),
+                TenantSpec("beta", api_key="k-beta"),
+            ]
+        )
+        n_clients, n_tokens = 32, 6
+        engine = engine_factory(max_running=8)
+        core = ServerCore(engine, tenants=registry)
+
+        async def one_client(server, i):
+            key = "k-acme" if i % 2 == 0 else "k-beta"
+            payload = wire_payload(
+                tiny_samples[i % len(tiny_samples)], max_tokens=n_tokens, seed=i
+            )
+            text, final = await stream_completion(
+                server.host, server.port, payload, api_key=key
+            )
+            return text, final
+
+        async def scenario():
+            async with ServingServer(core) as server:
+                results = await asyncio.gather(
+                    *(one_client(server, i) for i in range(n_clients))
+                )
+                stats = await request_json(
+                    server.host, server.port, "GET", "/v1/stats"
+                )
+                return results, stats
+
+        results, stats = asyncio.run(scenario())
+        assert len(results) == n_clients
+        total_completion = 0
+        for text, final in results:
+            assert final["choices"][0]["finish_reason"] in ("max_tokens", "stop_token")
+            assert final["usage"]["completion_tokens"] >= 1
+            total_completion += final["usage"]["completion_tokens"]
+            assert text  # every stream produced tokens
+
+        server_stats = stats.payload["server"]
+        assert server_stats["n_submitted"] == n_clients
+        assert server_stats["n_finished"] == n_clients
+        assert server_stats["n_cancelled"] == 0
+        assert server_stats["n_active"] == 0
+        tenants = stats.payload["tenants"]
+        assert tenants["acme"]["n_completed"] == n_clients // 2
+        assert tenants["beta"]["n_completed"] == n_clients // 2
+        assert (
+            tenants["acme"]["completion_tokens"]
+            + tenants["beta"]["completion_tokens"]
+            == total_completion
+        )
+        # Concurrency cannot perturb decoding: spot-check streams against a
+        # direct, unloaded engine on the same prompts.
+        reference = engine_factory()
+        for i in (0, 1, 7):
+            expected = "".join(
+                event.text
+                for event in reference.stream(
+                    sample_request(
+                        tiny_samples[i % len(tiny_samples)], n=n_tokens, seed=i
+                    )
+                )
+                if event.token_id is not None
+            )
+            assert results[i][0] == expected
+        # And nothing leaked: private pages all returned at drain.
+        assert engine.pool.n_allocated == engine.prefix_cache.n_blocks
+
+    def test_duplicate_wire_submissions_share_prefix_pages(
+        self, engine_factory, tiny_samples
+    ):
+        """Two identical HTTP requests hit the radix prefix index."""
+        engine = engine_factory()
+        core = ServerCore(engine)
+
+        async def scenario():
+            async with ServingServer(core) as server:
+                payload = wire_payload(tiny_samples[0])
+                first = await request_json(
+                    server.host, server.port, "POST", "/v1/completions", body=payload
+                )
+                second = await request_json(
+                    server.host, server.port, "POST", "/v1/completions", body=payload
+                )
+                return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.status == 200 and second.status == 200
+        assert second.payload["stats"]["cached_tokens"] > 0
+        assert (
+            second.payload["choices"][0]["text"]
+            == first.payload["choices"][0]["text"]
+        )

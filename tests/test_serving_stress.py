@@ -378,3 +378,109 @@ class TestEngineStress:
         assert any(r.stats.cache_hit_blocks > 0 for r in results)
         engine.prefix_cache.clear()
         assert pool.allocated_bytes() == 0
+
+
+class TestDisconnectStorm:
+    """Random mid-stream client disconnects against the serving front door.
+
+    A churn of requests is thrown at a :class:`ServerCore` over a starved
+    pool while a biased coin disconnects (cancels) a random subset of them
+    mid-decode.  Whatever the interleaving of engine-thread retirement and
+    cancel commands, the structural invariants must hold at drain: server
+    and tenant counters reconcile exactly, no pool page leaks past the
+    prefix index, and the survivors' outputs are untouched by the storm.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cancel_churn_leaves_no_leaks(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, seed
+    ):
+        import time
+
+        from repro.serving.server import ServerCore
+
+        rng = np.random.default_rng(seed + 300)
+        config = retrieval_model.config
+        pool = BlockPool(
+            config.n_layers,
+            config.n_kv_heads,
+            config.head_dim,
+            block_size=16,
+            capacity_blocks=13,
+        )
+        engine = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+            max_running=3,
+            pool=pool,
+            max_live_tokens=132,
+            preemption="swap" if seed % 2 == 0 else "recompute",
+        )
+        reference = InferenceEngine(
+            retrieval_model,
+            tokenizer,
+            CocktailConfig(chunk_size=16),
+            lexicon=vocab.lexicon,
+        )
+
+        core = ServerCore(engine).start()
+        try:
+            handles = []
+            for i in range(12):
+                request = GenerationRequest(
+                    tiny_samples[i % 2].context_words[:56],
+                    tiny_samples[i % 2].query_words,
+                    max_new_tokens=12,
+                    backend=("dense", "fp16", "kivi")[i % 3],
+                )
+                handles.append((core.submit(request), request))
+                # Stagger the storm: some requests land mid-decode of others.
+                time.sleep(float(rng.random()) * 0.01)
+                if rng.random() < 0.5 and handles:
+                    victim, _ = handles[int(rng.integers(len(handles)))]
+                    core.cancel(victim.request_id)
+
+            results = [
+                (core.join(handle, timeout=60.0), request)
+                for handle, request in handles
+            ]
+        finally:
+            core.close()
+
+        n_cancelled = sum(
+            1 for result, _ in results if result.stopped_by == "cancelled"
+        )
+        assert core.n_cancelled == n_cancelled
+        assert core.n_finished == len(results) - n_cancelled
+        usage = core.tenants.usage("anonymous")
+        assert usage.n_cancelled == n_cancelled
+        assert usage.n_active == 0
+        assert usage.completion_tokens == sum(
+            len(result.token_ids) for result, _ in results
+        )
+
+        # Survivors decoded exactly what an unpressured engine would have.
+        for result, request in results:
+            if result.stopped_by == "cancelled":
+                continue
+            want = reference.run(
+                GenerationRequest(
+                    request.context_words,
+                    request.query_words,
+                    max_new_tokens=12,
+                    backend=request.backend,
+                ),
+                pop=True,
+            )
+            assert result.token_ids == want.token_ids
+            assert result.stopped_by == want.stopped_by
+
+        # Drain: the storm released every private page and refcount.
+        pool.assert_consistent()
+        engine.prefix_cache.assert_consistent()
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
+        assert pool.n_allocated == 0
+        assert pool.allocated_bytes() == 0
