@@ -62,6 +62,8 @@ class StreamHandle:
     def __init__(self, request_id: str, tenant: str, core: "ServerCore"):
         self.request_id = request_id
         self.tenant = tenant
+        #: Budget tokens the admission reserved (handed back at finish).
+        self.reserved_tokens = 0
         self._core = core
         self._lock = threading.Lock()
         self._events: deque[TokenEvent] = deque()
@@ -278,7 +280,7 @@ class ServerCore:
             # Admission inside the handle lock: the concurrency check and
             # the registration are one atomic step, so racing submissions
             # cannot both pass a cap of N with N active.
-            self.tenants.admit(
+            reserved = self.tenants.admit(
                 tenant,
                 prompt_tokens=request.n_prompt_tokens,
                 max_new_tokens=request.max_new_tokens,
@@ -287,16 +289,25 @@ class ServerCore:
                 self._counter += 1
                 request.request_id = f"srv-{self._counter}"
             handle = StreamHandle(request.request_id, tenant, self)
+            handle.reserved_tokens = reserved
             if request.request_id in self._handles:
-                self.tenants.finish(
-                    tenant, prompt_tokens=0, completion_tokens=0, cancelled=True
-                )
+                self.tenants.reject_admitted(tenant, reserved_tokens=reserved)
                 raise ServerOverloadedError(
                     f"duplicate request_id {request.request_id!r}"
                 )
             self._handles[request.request_id] = handle
             self.n_submitted += 1
         with self._cond:
+            if self._stopping:
+                # close() won the race: the step loop is (or is about to
+                # be) past its final command drain, so an appended submit
+                # would never be processed and join() would hang forever.
+                # Roll the admission back and refuse loudly instead.
+                with self._handles_lock:
+                    self._handles.pop(request.request_id, None)
+                    self.n_submitted -= 1
+                self.tenants.reject_admitted(tenant, reserved_tokens=reserved)
+                raise ServerOverloadedError("server is shutting down")
             self._commands.append(("submit", request, handle))
             self._cond.notify_all()
         return handle
@@ -532,6 +543,7 @@ class ServerCore:
             handle.tenant,
             prompt_tokens=prompt_tokens,
             completion_tokens=completion_tokens,
+            reserved_tokens=handle.reserved_tokens,
             cancelled=cancelled,
         )
         handle._close(result, error, terminal)

@@ -338,10 +338,31 @@ class ServingServer:
                 if terminal is not None:
                     break
                 await writer.drain()
+                if handle.finished:
+                    # Finished without a terminal event: an error path
+                    # (submit/step failure, shutdown) closed the handle.
+                    # The close may have raced our pop — its events become
+                    # visible atomically with ``finished`` — so drain once
+                    # more if anything is queued, else fall through to the
+                    # result (which surfaces ``handle.error``).  Without
+                    # this break the wakeup below returns immediately
+                    # forever and the loop spins without yielding.
+                    if handle._backlog():
+                        continue
+                    break
                 if await wakeup.wait_or_disconnect(disconnect):
                     self._cancel_for_disconnect(handle)
                     return
-            result = self._finished_result(handle)
+            try:
+                result = self._finished_result(handle)
+            except ApiError as err:
+                # The 200 head (and possibly token chunks) are already on
+                # the wire — a second HTTP response head would corrupt the
+                # stream, so surface the failure as a final SSE event.
+                writer.write(_sse_chunk(err.to_payload()))
+                writer.write(b"data: [DONE]\n\n")
+                await writer.drain()
+                return
             writer.write(_sse_chunk(_final_chunk(result)))
             writer.write(b"data: [DONE]\n\n")
             await writer.drain()

@@ -9,8 +9,12 @@ completion accounting runs on the engine thread.
 
 Admission is *pessimistic* about the budget: a request is only admitted if
 the remaining budget covers its prompt plus its full ``max_tokens`` ask,
-so a tenant can never overdraw mid-decode; the usage recorded at finish is
-the measured count (early stops cost only what they generated).
+and that ask stays *reserved* (``TenantUsage.reserved_tokens``) while the
+request is in flight — concurrent requests see the budget net of every
+outstanding reservation, so a tenant can never overdraw mid-decode even
+with N requests admitted at once.  The usage recorded at finish is the
+measured count (early stops cost only what they generated) and the
+reservation is released in the same step.
 
 An empty registry serves anonymously: every request is accounted to the
 built-in ``"anonymous"`` tenant with no limits.  Registering any tenant
@@ -70,6 +74,9 @@ class TenantUsage:
     n_rejected: int = 0
     #: Requests currently active (admitted, not yet finished).
     n_active: int = 0
+    #: Budget tokens held by in-flight requests (each request's prompt +
+    #: full ``max_tokens`` ask, from admission until finish).
+    reserved_tokens: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
 
@@ -85,6 +92,7 @@ class TenantUsage:
             "n_cancelled": self.n_cancelled,
             "n_rejected": self.n_rejected,
             "n_active": self.n_active,
+            "reserved_tokens": self.reserved_tokens,
             "prompt_tokens": self.prompt_tokens,
             "completion_tokens": self.completion_tokens,
             "total_tokens": self.total_tokens,
@@ -159,16 +167,19 @@ class TenantRegistry:
 
     def admit(
         self, name: str, *, prompt_tokens: int, max_new_tokens: int
-    ) -> None:
+    ) -> int:
         """Charge one admission against ``name``'s limits, or refuse it.
 
         Raises :class:`ConcurrencyLimitError` at the concurrent-request
-        cap and :class:`QuotaExceededError` when the remaining token
-        budget cannot cover ``prompt_tokens + max_new_tokens`` (or the
-        per-request ``max_new_tokens`` cap is exceeded).  A refusal counts
-        into ``n_rejected``; an admission must later be balanced by
-        :meth:`finish`.
+        cap and :class:`QuotaExceededError` when the token budget — net of
+        usage already recorded *and* every in-flight reservation — cannot
+        cover ``prompt_tokens + max_new_tokens`` (or the per-request
+        ``max_new_tokens`` cap is exceeded).  A refusal counts into
+        ``n_rejected``.  Returns the reservation charged against the
+        budget, which the caller must hand back through :meth:`finish`
+        (or :meth:`reject_admitted`) to release it.
         """
+        asked = prompt_tokens + max_new_tokens
         with self._lock:
             spec = self._by_name[name]
             usage = self._usage[name]
@@ -192,18 +203,25 @@ class TenantRegistry:
                         param="max_tokens",
                     )
                 if spec.token_budget is not None:
-                    asked = prompt_tokens + max_new_tokens
-                    remaining = spec.token_budget - usage.total_tokens
+                    remaining = (
+                        spec.token_budget
+                        - usage.total_tokens
+                        - usage.reserved_tokens
+                    )
                     if asked > remaining:
                         raise QuotaExceededError(
                             f"tenant {name!r} has {max(remaining, 0)} tokens of "
-                            f"budget left; this request needs up to {asked}"
+                            f"budget left (in-flight requests hold "
+                            f"{usage.reserved_tokens}); this request needs up "
+                            f"to {asked}"
                         )
             except Exception:
                 usage.n_rejected += 1
                 raise
             usage.n_submitted += 1
             usage.n_active += 1
+            usage.reserved_tokens += asked
+        return asked
 
     def finish(
         self,
@@ -211,18 +229,40 @@ class TenantRegistry:
         *,
         prompt_tokens: int,
         completion_tokens: int,
+        reserved_tokens: int = 0,
         cancelled: bool = False,
     ) -> None:
-        """Balance one admission with its measured outcome."""
+        """Balance one admission with its measured outcome.
+
+        ``reserved_tokens`` is the value :meth:`admit` returned for this
+        request; handing it back releases the in-flight budget hold.
+        """
         with self._lock:
             usage = self._usage[name]
             usage.n_active -= 1
+            usage.reserved_tokens -= reserved_tokens
             usage.prompt_tokens += prompt_tokens
             usage.completion_tokens += completion_tokens
             if cancelled:
                 usage.n_cancelled += 1
             else:
                 usage.n_completed += 1
+
+    def reject_admitted(self, name: str, *, reserved_tokens: int = 0) -> None:
+        """Roll one admission back as a door-level rejection.
+
+        For requests refused *after* :meth:`admit` succeeded (duplicate
+        request id, server shutting down): the admission's counters are
+        undone and the refusal lands in ``n_rejected``, so tenant stats
+        reconcile with the server-level view instead of recording a
+        phantom submitted-then-cancelled request.
+        """
+        with self._lock:
+            usage = self._usage[name]
+            usage.n_submitted -= 1
+            usage.n_active -= 1
+            usage.reserved_tokens -= reserved_tokens
+            usage.n_rejected += 1
 
     # -- introspection ---------------------------------------------------------
 

@@ -19,6 +19,7 @@ Four layers, tested inside-out:
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 
 import pytest
@@ -154,14 +155,52 @@ class TestTenantRegistry:
         # 60 prompt + 50 ask could overdraw a 100-token budget: refused.
         with pytest.raises(QuotaExceededError):
             registry.admit("acme", prompt_tokens=60, max_new_tokens=50)
-        registry.admit("acme", prompt_tokens=60, max_new_tokens=30)
+        reserved = registry.admit("acme", prompt_tokens=60, max_new_tokens=30)
+        assert reserved == 90
         # The request stopped early: only the measured 5 tokens are charged,
         # leaving room the pessimistic ask would have denied.
-        registry.finish("acme", prompt_tokens=60, completion_tokens=5)
+        registry.finish(
+            "acme", prompt_tokens=60, completion_tokens=5, reserved_tokens=reserved
+        )
         registry.admit("acme", prompt_tokens=20, max_new_tokens=15)
         usage = registry.usage("acme")
         assert usage.total_tokens == 65
         assert usage.n_rejected == 1
+
+    def test_budget_holds_in_flight_reservations(self):
+        # Concurrent in-flight requests each hold their full ask against
+        # the budget: N simultaneous admissions can never overdraw it.
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", token_budget=100)]
+        )
+        first = registry.admit("acme", prompt_tokens=40, max_new_tokens=20)
+        # 60 of 100 is reserved in flight; a 50-token ask must be refused
+        # even though recorded usage is still zero.
+        with pytest.raises(QuotaExceededError):
+            registry.admit("acme", prompt_tokens=30, max_new_tokens=20)
+        second = registry.admit("acme", prompt_tokens=20, max_new_tokens=20)
+        assert registry.usage("acme").reserved_tokens == 100
+        registry.finish(
+            "acme", prompt_tokens=40, completion_tokens=5, reserved_tokens=first
+        )
+        usage = registry.usage("acme")
+        assert usage.reserved_tokens == second  # only the in-flight hold left
+        assert usage.total_tokens == 45
+        # The freed headroom (100 - 45 - 40) readmits a small request.
+        registry.admit("acme", prompt_tokens=10, max_new_tokens=5)
+
+    def test_reject_admitted_rolls_back_as_rejection(self):
+        registry = TenantRegistry(
+            [TenantSpec("acme", api_key="k", token_budget=100)]
+        )
+        reserved = registry.admit("acme", prompt_tokens=10, max_new_tokens=10)
+        registry.reject_admitted("acme", reserved_tokens=reserved)
+        usage = registry.usage("acme")
+        assert usage.n_submitted == 0
+        assert usage.n_active == 0
+        assert usage.n_cancelled == 0
+        assert usage.n_rejected == 1
+        assert usage.reserved_tokens == 0
 
     def test_snapshot_is_json_ready(self):
         registry = TenantRegistry([TenantSpec("acme", api_key="k")])
@@ -488,6 +527,54 @@ class TestServerCore:
         finally:
             core.close()
 
+    def test_duplicate_request_id_is_rolled_back_as_rejection(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(make_engine(retrieval_model, tokenizer, vocab)).start()
+        try:
+            first = sample_request(tiny_samples[0], n=32)
+            first.request_id = "dup"
+            handle = core.submit(first)
+            second = sample_request(tiny_samples[1], n=4)
+            second.request_id = "dup"
+            with pytest.raises(ServerOverloadedError):
+                core.submit(second)
+            core.join(handle, timeout=20.0)
+            # The refused duplicate is a rejection, not a phantom
+            # submitted-then-cancelled request: tenant counters reconcile
+            # with the server-level view.
+            usage = core.tenants.usage("anonymous")
+            assert usage.n_submitted == 1
+            assert usage.n_rejected == 1
+            assert usage.n_cancelled == 0
+            assert usage.n_active == 0
+            assert usage.reserved_tokens == 0
+            assert core.n_submitted == 1
+        finally:
+            core.close()
+
+    def test_submit_racing_close_is_refused_and_balanced(
+        self, vocab, tokenizer, retrieval_model, tiny_samples
+    ):
+        core = ServerCore(make_engine(retrieval_model, tokenizer, vocab)).start()
+        try:
+            # Simulate close() winning the race: the stop flag is set (the
+            # step loop may already be past its final command drain) while
+            # the thread is still alive, so submit's running check passes.
+            with core._cond:
+                core._stopping = True
+            with pytest.raises(ServerOverloadedError):
+                core.submit(sample_request(tiny_samples[0], n=4))
+            usage = core.tenants.usage("anonymous")
+            assert usage.n_submitted == 0
+            assert usage.n_active == 0
+            assert usage.n_rejected == 1
+            assert usage.reserved_tokens == 0
+            assert core.n_submitted == 0
+            assert core.n_active == 0
+        finally:
+            core.close()
+
     def test_close_cancels_in_flight_requests(
         self, vocab, tokenizer, retrieval_model, tiny_samples
     ):
@@ -691,6 +778,57 @@ class TestHttpServer:
         raw = asyncio.run(scenario())
         assert b"400 Bad Request" in raw
         assert b"not valid JSON" in raw
+
+    def test_engine_step_failure_ends_the_sse_stream_with_an_error_event(
+        self, engine_factory, tiny_samples
+    ):
+        async def scenario():
+            core = ServerCore(engine_factory())
+            async with ServingServer(core) as server:
+
+                def boom():
+                    raise RuntimeError("injected step failure")
+
+                core.engine.step = boom
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                body = json.dumps(
+                    {**wire_payload(tiny_samples[0]), "stream": True}
+                ).encode()
+                head = (
+                    "POST /v1/completions HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+                ).encode()
+                writer.write(head + body)
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(), timeout=30.0)
+                writer.close()
+                # The same failure through the one-shot path is a plain 500.
+                oneshot = await request_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/v1/completions",
+                    body=wire_payload(tiny_samples[0]),
+                )
+                health = await request_json(server.host, server.port, "GET", "/healthz")
+                return raw, oneshot, health
+
+        raw, oneshot, health = asyncio.run(scenario())
+        # Exactly one response head: the failure after the 200 was sent
+        # must surface as a final SSE event, never as a second HTTP head
+        # injected into the already-started stream.
+        assert raw.count(b"HTTP/1.1") == 1
+        assert raw.startswith(b"HTTP/1.1 200")
+        assert b'"code": "internal_error"' in raw
+        assert raw.rstrip().endswith(b"data: [DONE]")
+        assert oneshot.status == 500
+        assert oneshot.payload["error"]["code"] == "internal_error"
+        # The step loop survived the failure and keeps serving.
+        assert health.status == 200
+        assert health.payload["status"] == "ok"
+        assert health.payload["last_error"] is not None
 
     def test_api_keys_and_quota_enforcement(self, engine_factory, tiny_samples):
         registry = TenantRegistry(
