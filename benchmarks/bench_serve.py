@@ -6,7 +6,11 @@ engine-step thread), fires a wave of concurrent streaming clients at
 deployment would watch: sustained requests per second, mean/p95 time to
 first token and mean time per output token — client-observed wall clock
 on one side, the engine's own :class:`RequestStats` latencies (carried in
-each stream's final SSE chunk) on the other.
+each stream's final SSE chunk) on the other.  A
+:class:`~repro.profiling.StepProfiler` rides along on the engine so every
+sample also records where engine step time went (per-phase seconds and
+fractions: schedule / gather / dequant / project / attend / mlp / logits /
+verify / bookkeeping).
 
 Alongside the human-readable table, the run appends one sample to
 ``benchmarks/results/BENCH_serve.json`` — the perf-trajectory artifact
@@ -27,6 +31,7 @@ from benchmarks.conftest import RESULTS_DIR
 from repro.core.config import CocktailConfig
 from repro.datasets.longbench import build_dataset, build_vocabulary
 from repro.evaluation.setup import build_model, build_tokenizer
+from repro.profiling import StepProfiler
 from repro.serving import InferenceEngine
 from repro.serving.server import ServerCore, ServingServer
 from repro.serving.server.client import stream_completion
@@ -122,10 +127,16 @@ def test_bench_serve(results_dir):
         async with ServingServer(core) as server:
             return await _drive_load(server, samples)
 
-    metrics = asyncio.run(scenario())
+    profiler = StepProfiler(engine)
+    with profiler:
+        metrics = asyncio.run(scenario())
     stats = core.stats_payload()
     metrics["engine_steps"] = stats["engine"]["n_steps"]
     metrics["mean_batch_occupancy"] = stats["engine"]["mean_batch_occupancy"]
+    metrics["step_ms_p50"] = profiler.step_percentile(0.50) * 1e3
+    metrics["step_ms_p95"] = profiler.step_percentile(0.95) * 1e3
+    metrics["phase_seconds"] = dict(profiler.phase_times)
+    metrics["phase_fraction"] = profiler.phase_breakdown()
     _append_trajectory(metrics)
 
     print(
@@ -140,6 +151,7 @@ def test_bench_serve(results_dir):
         f"engine: {metrics['engine_steps']} steps, "
         f"batch occupancy {metrics['mean_batch_occupancy']:.2f}"
     )
+    print(profiler.profile_table())
 
     # Every client completed and the stats reconcile exactly.
     assert stats["server"]["n_finished"] == N_CLIENTS

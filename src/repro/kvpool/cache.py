@@ -37,7 +37,39 @@ import numpy as np
 
 from repro.kvpool.codecs import TensorEncoding
 from repro.kvpool.pool import Block, BlockPool, PoolExhausted, pack_block_runs
+from repro.profiling import span as profiling_span
 from repro.quant.dtypes import BitWidth, bytes_for_elements
+
+
+class _GatherBuffer:
+    """One layer's reusable gather scratch: rows plus transposed mirrors.
+
+    ``k``/``v`` hold the gathered ``(capacity, h, d)`` rows of which the
+    first ``valid`` are filled; ``views`` is the ``(k[:valid], v[:valid])``
+    tuple handed to callers (recreated only when ``valid`` moves, so a
+    repeated read returns the *same* tuple).  ``k_t``/``v_t`` are the
+    lazily-built head-major mirrors — ``(h, d, capacity)`` keys and
+    ``(h, capacity, d)`` values, exactly the operand layout the per-head
+    attention GEMMs consume — maintained incrementally so the attend path
+    never re-transposes the whole history per step.
+
+    Appends past ``valid`` write rows no previously returned view covers;
+    any mutation of existing rows bumps the cache's ``_content_version``,
+    which retires the whole buffer (fresh arrays, never an in-place rewrite
+    a caller-held view could observe).
+    """
+
+    __slots__ = ("k", "v", "k_t", "v_t", "valid", "version", "views", "mirror_views")
+
+    def __init__(self, k: np.ndarray, v: np.ndarray, valid: int, version: int):
+        self.k = k
+        self.v = v
+        self.k_t: np.ndarray | None = None
+        self.v_t: np.ndarray | None = None
+        self.valid = valid
+        self.version = version
+        self.views = (k[:valid], v[:valid])
+        self.mirror_views: tuple[np.ndarray, np.ndarray] | None = None
 
 
 class BlockTable:
@@ -107,6 +139,10 @@ class PagedLayerView:
     def values(self) -> np.ndarray:
         return self._cache.gather_layer(self._layer)[1]
 
+    def kv_mirrors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Head-major transposed K/V views (see :meth:`PagedKVCache.layer_mirrors`)."""
+        return self._cache.layer_mirrors(self._layer)
+
 
 class PagedKVCache:
     """KV cache of one sequence, stored as pages of a shared block pool."""
@@ -132,18 +168,25 @@ class PagedKVCache:
         self._released = False
         #: Leading pages adopted from the prefix index (shared, pre-packed).
         self.n_adopted_blocks = 0
-        #: Per-layer memo of the last gather: ``(length, version, (k, v))``.
-        #: ``keys()``/``values()`` are called back to back by attention on
-        #: every decode step; without the memo each step would materialise
-        #: and dequantize the full context twice per layer.
-        self._gather_memo: dict[int, tuple[int, int, tuple[np.ndarray, np.ndarray]]] = {}
-        #: Per-layer memo of the gathered context-region pages, keyed by the
-        #: exact ``(block_id, Block.version)`` tuple of the covered pages —
-        #: see :meth:`gather_context`.
+        #: Per-layer growing gather scratch (rows + transposed mirrors); a
+        #: decode step's ``keys()``/``values()``/``kv_mirrors()`` reads cost
+        #: one incremental row copy instead of re-materialising (and
+        #: re-dequantizing) the whole layer — see :meth:`gather_layer`.
+        self._gather_buffers: dict[int, _GatherBuffer] = {}
+        #: Per-layer memo of the gathered context-region pages, keyed on
+        #: ``(n_blocks, _context_version)`` — see :meth:`gather_context`.
         self._context_memo: dict[
-            int, tuple[tuple[tuple[int, int], ...], tuple[np.ndarray, np.ndarray]]
+            int, tuple[tuple[int, int], tuple[np.ndarray, np.ndarray]]
         ] = {}
+        #: Bumped whenever *any* already-written row may have changed
+        #: (COW fork, context overwrite, packing, truncation, adoption);
+        #: retires the per-layer gather buffers.
         self._content_version = 0
+        #: Bumped only by mutations that can touch *context-region* pages
+        #: (COW fork, context overwrite, packing, adoption) — deliberately
+        #: not by :meth:`truncate`, which cannot reach the context region,
+        #: so speculative rollbacks keep the context memo warm.
+        self._context_version = 0
 
     # -- geometry ------------------------------------------------------------
 
@@ -230,6 +273,7 @@ class PagedKVCache:
         self._layer_lengths = [n_tokens] * self.n_layers
         self.n_adopted_blocks = len(block_ids)
         self._content_version += 1
+        self._context_version += 1
 
     # -- writes --------------------------------------------------------------
 
@@ -251,6 +295,7 @@ class PagedKVCache:
         if new_id != block_id:
             self.table.block_ids[index] = new_id
             self._content_version += 1
+            self._context_version += 1
         return self.pool.get(new_id)
 
     def append_layer(self, layer_index: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
@@ -314,7 +359,7 @@ class PagedKVCache:
             self.pool.release(block_id)
         del self.table.block_ids[keep:]
         self._layer_lengths = [n_tokens] * self.n_layers
-        self._gather_memo.clear()
+        self._gather_buffers.clear()
         self._content_version += 1
 
     # -- reads ---------------------------------------------------------------
@@ -335,10 +380,13 @@ class PagedKVCache:
         This is the batched decode path's hot read: once a request's
         context is packed those pages never change again, so the gather —
         including the per-page dequantization of the packed runs — is
-        memoized against the exact ``(block_id, Block.version)`` tuple of
-        the covered pages and repeated calls return the *same* arrays
-        without touching the pool.  Any COW fork, repack, in-place
-        overwrite or swap round-trip changes the key and re-gathers.
+        memoized against ``(n_blocks, _context_version)``, a pair of plain
+        counters this cache already maintains.  A warm hit is therefore two
+        integer compares — no per-page ``pool.get`` walk to rebuild a key
+        tuple, which profiling showed dominating the hit path.  Every
+        mutation that can reach a context page (COW fork, context
+        overwrite, repack, adoption) bumps ``_context_version``; a swap
+        round-trip clears the memo outright.
 
         Callers must treat the returned arrays as read-only.
         """
@@ -349,19 +397,19 @@ class PagedKVCache:
         if n_blocks == 0:
             empty = np.empty((0, self.n_kv_heads, self.head_dim), dtype=np.float32)
             return empty, empty
-        key = tuple(
-            (block_id, self.pool.get(block_id).version)
-            for block_id in self.table.block_ids[:n_blocks]
-        )
+        key = (n_blocks, self._context_version)
         memo = self._context_memo.get(layer_index)
         if memo is not None and memo[0] == key:
             return memo[1]
-        k = np.empty((n_blocks * bs, self.n_kv_heads, self.head_dim), dtype=np.float32)
-        v = np.empty_like(k)
-        for index, block_id in enumerate(self.table.block_ids[:n_blocks]):
-            block_k, block_v = self.pool.get(block_id).gather(layer_index, bs)
-            k[index * bs : (index + 1) * bs] = block_k
-            v[index * bs : (index + 1) * bs] = block_v
+        with profiling_span("gather"):
+            k = np.empty(
+                (n_blocks * bs, self.n_kv_heads, self.head_dim), dtype=np.float32
+            )
+            v = np.empty_like(k)
+            for index, block_id in enumerate(self.table.block_ids[:n_blocks]):
+                block_k, block_v = self.pool.get(block_id).gather(layer_index, bs)
+                k[index * bs : (index + 1) * bs] = block_k
+                v[index * bs : (index + 1) * bs] = block_v
         result = (k, v)
         self._context_memo[layer_index] = (key, result)
         return result
@@ -369,25 +417,105 @@ class PagedKVCache:
     def gather_layer(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
         """Materialise one layer's valid rows as float32 ``(length, h, d)``.
 
-        The most recent gather per layer is memoized (invalidated by
-        appends, overwrites and packing); callers treat the returned arrays
-        as read-only views of the cache state.  On a miss the immutable
-        context prefix comes from :meth:`gather_context` (a memcpy of the
-        memoized arrays), so a decode step only pays to re-gather — and
-        dequantize — the mutable tail pages its append just touched.
+        Reads are served from a per-layer growing scratch buffer
+        (:class:`_GatherBuffer`): an unchanged layer returns the same view
+        tuple with zero copies, and a layer that merely *grew* (the decode
+        step's append) copies only the rows appended since the last call —
+        appended rows are always full-precision, so a decode step no longer
+        re-materialises (or re-dequantizes) its whole history per layer.
+        Only a content mutation (COW fork, overwrite, packing, truncation,
+        adoption — anything that bumps ``_content_version``) rebuilds the
+        buffer from scratch, with the immutable context prefix coming from
+        the :meth:`gather_context` memo as one memcpy.  Rebuilds allocate
+        *fresh* arrays: views handed out earlier are never rewritten in
+        place, so callers may safely hold them across steps (read-only).
         """
         self._check_readable()
         length = self._layer_lengths[layer_index]
-        memo = self._gather_memo.get(layer_index)
-        if memo is not None and memo[0] == length and memo[1] == self._content_version:
-            return memo[2]
-        k = np.empty((length, self.n_kv_heads, self.head_dim), dtype=np.float32)
+        buffer = self._gather_buffers.get(layer_index)
+        if buffer is not None and buffer.version == self._content_version:
+            if buffer.valid == length:
+                return buffer.views
+            if buffer.valid < length <= buffer.k.shape[0]:
+                with profiling_span("gather"):
+                    self._fill_rows(buffer, layer_index, buffer.valid, length)
+                buffer.valid = length
+                buffer.views = (buffer.k[:length], buffer.v[:length])
+                if buffer.k_t is not None:
+                    buffer.mirror_views = (
+                        buffer.k_t[:, :, :length],
+                        buffer.v_t[:, :length, :],
+                    )
+                return buffer.views
+        with profiling_span("gather"):
+            buffer = self._rebuild_buffer(layer_index, length)
+        self._gather_buffers[layer_index] = buffer
+        return buffer.views
+
+    def layer_mirrors(self, layer_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Head-major transposed views of one layer's gathered K/V.
+
+        Returns ``(h, d, length)`` keys and ``(h, length, d)`` values — the
+        exact operand layout of attention's per-head GEMMs — as views of
+        incrementally-maintained mirror buffers, so the attend path avoids
+        its two per-call ``ascontiguousarray`` transpose copies of the full
+        history.  The mirrors are built lazily on first request and kept in
+        sync by :meth:`gather_layer`; the same read-only contract applies.
+        """
+        self.gather_layer(layer_index)  # sync buffer (and mirrors) first
+        buffer = self._gather_buffers[layer_index]
+        if buffer.k_t is None:
+            with profiling_span("gather"):
+                capacity = buffer.k.shape[0]
+                h, d = self.n_kv_heads, self.head_dim
+                valid = buffer.valid
+                buffer.k_t = np.empty((h, d, capacity), dtype=np.float32)
+                buffer.v_t = np.empty((h, capacity, d), dtype=np.float32)
+                buffer.k_t[:, :, :valid] = buffer.k[:valid].transpose(1, 2, 0)
+                buffer.v_t[:, :valid, :] = buffer.v[:valid].transpose(1, 0, 2)
+                buffer.mirror_views = (
+                    buffer.k_t[:, :, :valid],
+                    buffer.v_t[:, :valid, :],
+                )
+        return buffer.mirror_views
+
+    def _fill_rows(
+        self, buffer: _GatherBuffer, layer_index: int, start: int, stop: int
+    ) -> None:
+        """Copy rows ``[start, stop)`` from the pages into ``buffer``.
+
+        Only called for rows appended since the buffer was last synced at
+        the *same* ``_content_version``: such rows were written exclusively
+        by :meth:`append_layer` (anything else bumps the version), so they
+        are plain full-precision rows — no packed-run overlay to decode.
+        """
+        bs = self.table.block_size
+        row = start
+        while row < stop:
+            index, offset = self.table.locate(row)
+            take = min(stop - row, bs - offset)
+            block = self.pool.get(self.table.block_ids[index])
+            buffer.k[row : row + take] = block.fp_k[layer_index, offset : offset + take]
+            buffer.v[row : row + take] = block.fp_v[layer_index, offset : offset + take]
+            row += take
+        if buffer.k_t is not None:
+            buffer.k_t[:, :, start:stop] = buffer.k[start:stop].transpose(1, 2, 0)
+            buffer.v_t[:, start:stop, :] = buffer.v[start:stop].transpose(1, 0, 2)
+
+    def _rebuild_buffer(self, layer_index: int, length: int) -> _GatherBuffer:
+        """Gather the whole layer into a fresh buffer with growth headroom."""
+        bs = self.table.block_size
+        # Geometric headroom: the buffer absorbs at least 4 pages (or half
+        # the current length) of future appends before the next rebuild, so
+        # long decodes re-gather O(log n) times, not every ``slack`` rows.
+        slack = max(4 * bs, length // 2)
+        capacity = max(length, min(self.capacity, length + slack))
+        k = np.empty((capacity, self.n_kv_heads, self.head_dim), dtype=np.float32)
         v = np.empty_like(k)
         context_k, context_v = self.gather_context(layer_index)
         done = min(context_k.shape[0], length)
         k[:done] = context_k[:done]
         v[:done] = context_v[:done]
-        bs = self.table.block_size
         for block_id in self.table.block_ids[done // bs :]:
             if done >= length:
                 break
@@ -396,9 +524,7 @@ class PagedKVCache:
             k[done : done + take] = block_k
             v[done : done + take] = block_v
             done += take
-        result = (k, v)
-        self._gather_memo[layer_index] = (length, self._content_version, result)
-        return result
+        return _GatherBuffer(k, v, length, self._content_version)
 
     # -- the ModelKVCache surface used by quantizers -------------------------
 
@@ -438,6 +564,7 @@ class PagedKVCache:
             block.write(layer_index, 0, k_new[done : done + take], v_new[done : done + take])
             done += take
         self._content_version += 1
+        self._context_version += 1
 
     # -- packing -------------------------------------------------------------
 
@@ -520,6 +647,7 @@ class PagedKVCache:
         )
         self._packed = True
         self._content_version += 1
+        self._context_version += 1
 
     # -- preemption: swap and release ----------------------------------------
 
@@ -541,8 +669,9 @@ class PagedKVCache:
         self._swap_state = state
         self.table.block_ids = []
         # A swapped sequence holds no device pages; drop the gather scratch
-        # too (host pages come back under fresh ids, re-keying the memo).
-        self._gather_memo.clear()
+        # and memos too (host pages come back under fresh ids and must be
+        # re-gathered after swap_in).
+        self._gather_buffers.clear()
         self._context_memo.clear()
 
     def swap_in(self) -> None:
@@ -586,7 +715,7 @@ class PagedKVCache:
             for block_id in self.table.block_ids:
                 self.pool.release(block_id)
         self.table.block_ids = []
-        self._gather_memo.clear()
+        self._gather_buffers.clear()
         self._context_memo.clear()
         self._released = True
 

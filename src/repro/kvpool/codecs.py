@@ -39,6 +39,22 @@ from repro.quant.uniform import QuantizedTensor
 #: :func:`repro.quant.dtypes.metadata_bytes_for_groups`).
 META_VALUE_BYTES = 2
 
+#: Widest code for which decode goes through a dequantization lookup table:
+#: for 2–4 bit codes a ``2^bits``-entry table per scale group is (much)
+#: smaller than the group itself, so building the table and gathering by
+#: code replaces the full elementwise affine pass.  The tables are computed
+#: with the *exact* float32 ops of :func:`repro.quant.uniform.dequantize`
+#: — ``(level - zero_point) * scale`` per (group, level) — so a gathered
+#: row is bit-for-bit the row the elementwise path would produce.
+LUT_MAX_BITS = 4
+
+
+def _affine_lut(
+    levels: np.ndarray, scale: np.ndarray, zero_point: np.ndarray
+) -> np.ndarray:
+    """Per-group dequant table ``lut[..., level] = (level - zp) * scale``."""
+    return ((levels - zero_point) * scale).astype(np.float32)
+
 
 class TokenRowCodec(abc.ABC):
     """Encodes/decodes per-token rows of one layer's context K or V tensor."""
@@ -83,6 +99,11 @@ class PerTokenGroupCodec(TokenRowCodec):
         self.n_groups = (head_dim + self.pad) // group_size
         self.code_width = n_kv_heads * self.n_groups * group_size
         self.meta_width = 2 * n_kv_heads * self.n_groups
+        self._lut_levels = (
+            np.arange(1 << int(self.bits), dtype=np.float32)
+            if int(self.bits) <= LUT_MAX_BITS
+            else None
+        )
 
     def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Encode ``(m, h, d)`` float rows into code + metadata rows."""
@@ -101,6 +122,16 @@ class PerTokenGroupCodec(TokenRowCodec):
         half = h * g
         scale = meta[:, :half].reshape(m, h, g, 1)
         zero_point = meta[:, half:].reshape(m, h, g, 1)
+        if self._lut_levels is not None:
+            # One (m, h, g, 2^bits) table, then a gather per code: for
+            # group_size >> 2^bits this replaces two full-size elementwise
+            # passes with table-size ones.  Same reshape/pad-strip sequence
+            # as GroupQuantizedTensor.dequantize.
+            lut = _affine_lut(self._lut_levels, scale, zero_point)
+            flat = np.take_along_axis(lut, grouped, axis=3).reshape(m, h, g * gs)
+            if self.pad:
+                flat = flat[..., : -self.pad]
+            return flat.reshape(m, h, self.head_dim)
         inner = QuantizedTensor(grouped, scale, zero_point, self.bits)
         return GroupQuantizedTensor(
             inner=inner,
@@ -123,6 +154,11 @@ class PerTokenCodec(TokenRowCodec):
         self.head_dim = head_dim
         self.code_width = n_kv_heads * head_dim
         self.meta_width = 2 * n_kv_heads
+        self._lut_levels = (
+            np.arange(1 << int(self.bits), dtype=np.float32)
+            if int(self.bits) <= LUT_MAX_BITS
+            else None
+        )
 
     def encode(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Encode ``(m, h, d)`` float rows into code + metadata rows."""
@@ -139,6 +175,11 @@ class PerTokenCodec(TokenRowCodec):
         h, d = self.n_kv_heads, self.head_dim
         scale = meta[:, :h].reshape(m, h, 1)
         zero_point = meta[:, h:].reshape(m, h, 1)
+        if self._lut_levels is not None:
+            # (m, h, 2^bits) table + gather: 2^bits <= 16 entries per row
+            # versus head_dim elementwise affine ops.
+            lut = _affine_lut(self._lut_levels, scale, zero_point)
+            return np.take_along_axis(lut, codes.reshape(m, h, d), axis=2)
         return QuantizedTensor(
             codes.reshape(m, h, d), scale, zero_point, self.bits
         ).dequantize()
@@ -166,6 +207,15 @@ class PerChannelCodec(TokenRowCodec):
         self.scale = qt.scale  # (1, h, d)
         self.zero_point = qt.zero_point
         self._codes = qt.codes.reshape(x.shape[0], self.code_width)
+        self._lut_flat = None
+        if int(self.bits) <= LUT_MAX_BITS:
+            # The scales are fitted once for the whole sequence, so the
+            # (2^bits, h*d) table is built once here and decode is a pure
+            # per-channel gather.
+            levels = np.arange(1 << int(self.bits), dtype=np.float32)
+            lut = _affine_lut(levels.reshape(-1, 1, 1), self.scale, self.zero_point)
+            self._lut_flat = np.ascontiguousarray(lut.reshape(-1, self.code_width))
+            self._channel_index = np.arange(self.code_width)
 
     def take_codes(self) -> np.ndarray:
         """Code rows of the tensor the codec was fitted on."""
@@ -174,6 +224,9 @@ class PerChannelCodec(TokenRowCodec):
     def decode(self, codes: np.ndarray, meta: np.ndarray) -> np.ndarray:
         del meta
         m = codes.shape[0]
+        if self._lut_flat is not None:
+            rows = self._lut_flat[codes.reshape(m, self.code_width), self._channel_index]
+            return rows.reshape(m, self.n_kv_heads, self.head_dim)
         return QuantizedTensor(
             codes.reshape(m, self.n_kv_heads, self.head_dim),
             self.scale,
@@ -210,6 +263,18 @@ class NuqChannelNormCodec(TokenRowCodec):
         nq = nuq_quantize(centered / self.scale, self.bits)
         self.codebook = nq.codebook
         self._codes = nq.codes.reshape(x.shape[0], self.code_width)
+        self._lut_flat = None
+        if int(self.bits) <= LUT_MAX_BITS:
+            # Codebook, scale, and mean are all sequence-global, so the full
+            # denormalisation ``codebook[l] * scale + mean`` folds into one
+            # (2^bits, h*d) table at fit time — same float32 op order as the
+            # fallback decode, so gathered rows are bit-identical.
+            lut = (
+                self.codebook.astype(np.float32).reshape(-1, 1, 1) * self.scale
+                + self.channel_mean
+            )
+            self._lut_flat = np.ascontiguousarray(lut.reshape(-1, self.code_width))
+            self._channel_index = np.arange(self.code_width)
 
     def take_codes(self) -> np.ndarray:
         """Code rows of the tensor the codec was fitted on."""
@@ -219,6 +284,9 @@ class NuqChannelNormCodec(TokenRowCodec):
         del meta
         m = codes.shape[0]
         shape = (m, self.n_kv_heads, self.head_dim)
+        if self._lut_flat is not None:
+            rows = self._lut_flat[codes.reshape(m, self.code_width), self._channel_index]
+            return rows.reshape(shape)
         dequantized = self.codebook[codes].reshape(shape).astype(np.float32)
         return dequantized * self.scale + self.channel_mean
 

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Protocol
 import numpy as np
 
 from repro.kvpool.codecs import META_VALUE_BYTES, TokenRowCodec
+from repro.profiling import span as profiling_span
 from repro.quant.dtypes import BitWidth, bytes_for_elements
 from repro.quant.packing import pack_codes, unpack_codes
 
@@ -105,11 +106,12 @@ class PackedRun:
     def decode(self) -> np.ndarray:
         """Dequantized ``(n_rows, h, d)`` float rows (cached; runs are immutable)."""
         if self._decoded is None:
-            n_codes = self.n_rows * self.code_width
-            codes = unpack_codes(self.packed_codes, self.bits, n_codes)
-            self._decoded = self.codec.decode(
-                codes.reshape(self.n_rows, self.code_width), self.meta
-            )
+            with profiling_span("dequant"):
+                n_codes = self.n_rows * self.code_width
+                codes = unpack_codes(self.packed_codes, self.bits, n_codes)
+                self._decoded = self.codec.decode(
+                    codes.reshape(self.n_rows, self.code_width), self.meta
+                )
         return self._decoded
 
     def storage_bytes(self) -> int:
@@ -136,10 +138,12 @@ class Block:
         #: Context rows of this block covered by packing (write guard): rows
         #: below this offset are frozen, even the FP16 ones kept as floats.
         self.packed_upto: int = 0
-        #: Bumped by every mutation; the zero-copy gather memo in
-        #: :meth:`repro.kvpool.cache.PagedKVCache.gather_context` keys on
-        #: ``(block_id, version)`` so a memoized read can never serve stale
-        #: rows after an in-place write or repack.
+        #: Bumped by every mutation — a change audit trail for tests and
+        #: debugging.  (The gather memos in
+        #: :class:`repro.kvpool.cache.PagedKVCache` key on the cache's own
+        #: ``_content_version``/``_context_version`` counters, bumped by
+        #: every path that can mutate a mapped page, so warm hits stay O(1)
+        #: instead of walking the pages to collect versions.)
         self.version: int = 0
 
     # -- writes --------------------------------------------------------------

@@ -7,6 +7,29 @@ against a layer cache.  The cache argument is duck-typed: anything exposing
 drives both the dense :class:`~repro.model.kv_cache.LayerKVCache` and the
 pool-backed :class:`~repro.kvpool.cache.PagedLayerView` (whose ``keys``
 gathers and dequantizes packed context pages on the fly).
+
+Decode hot-path notes
+---------------------
+``attend`` used to rebuild ``np.arange``/mask arrays and take two
+``ascontiguousarray`` transpose copies of the full K/V history per layer per
+step.  Three profiling-guided changes remove that:
+
+- the strictly-causal decode case (one query at the last position) skips
+  masking entirely — the mask is all-``False`` there, so ``np.where`` was a
+  full-size copy that changed nothing;
+- multi-query (prefill) masks are cached per ``(n_q, n_kv)`` for the
+  standard "queries are the cache tail" layout;
+- caches may expose ``kv_mirrors()`` returning head-major transposed K/V
+  views maintained incrementally (see ``PagedLayerView``), which replaces
+  both per-call transpose copies with buffer reuse;
+- the q/k/v projections of one token run as a single GEMM against the
+  concatenated ``[Wq | Wk | Wv]`` weight (sgemm computes each output column
+  as an independent dot product over ``d_model``, so the merged columns are
+  the separate GEMMs' columns — ``test_merged_projection_bit_identity``
+  guards this), and softmax runs in place on the logits buffer.
+
+All of these are bit-preserving: they feed the same GEMMs/ufuncs the same
+operand values, only with fewer kernel launches and allocations.
 """
 
 from __future__ import annotations
@@ -19,6 +42,7 @@ import numpy as np
 from repro.model.config import ModelConfig
 from repro.model.kv_cache import LayerKVCache
 from repro.model.positional import apply_rope
+from repro.profiling import span as profiling_span
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -27,6 +51,44 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     shifted = x - np.max(x, axis=axis, keepdims=True)
     exps = np.exp(shifted)
     return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+#: Cached ``(expected_positions, mask)`` pairs keyed on ``(n_q, n_kv)`` for
+#: the standard prefill layout (queries occupy the last ``n_q`` cache rows).
+#: Bounded: cleared wholesale when it grows past ``_MASK_CACHE_MAX`` keys.
+_MASK_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+_MASK_CACHE_MAX = 256
+
+
+def _causal_mask(n_q: int, n_kv: int, positions: np.ndarray) -> np.ndarray | None:
+    """Return the ``(n_q, n_kv)`` causal mask, or ``None`` when all-``False``.
+
+    ``None`` means no key is masked — the caller may skip ``np.where``
+    entirely (bit-identical: masking with an all-``False`` mask is a copy).
+    Standard tail layouts are served from :data:`_MASK_CACHE`; arbitrary
+    position vectors (e.g. the blockwise chunk path) fall back to computing
+    the mask directly.
+    """
+    if n_q == 1:
+        p = int(positions[0])
+        if p >= n_kv - 1:
+            return None
+        return np.arange(n_kv)[None, :] > p
+    first = int(positions[0])
+    if first == n_kv - n_q:
+        cached = _MASK_CACHE.get((n_q, n_kv))
+        if cached is None:
+            expected = np.arange(first, n_kv)
+            mask = np.arange(n_kv)[None, :] > expected[:, None]
+            expected.setflags(write=False)
+            mask.setflags(write=False)
+            if len(_MASK_CACHE) >= _MASK_CACHE_MAX:
+                _MASK_CACHE.clear()
+            _MASK_CACHE[(n_q, n_kv)] = cached = (expected, mask)
+        expected, mask = cached
+        if np.array_equal(positions, expected):
+            return mask
+    return np.arange(n_kv)[None, :] > np.asarray(positions)[:, None]
 
 
 @dataclass(frozen=True)
@@ -51,6 +113,27 @@ class AttentionLayer:
         self.weights = weights
         self.config = config
         self._scale = config.attention_temperature / np.sqrt(config.head_dim)
+        # Pre-flattened projection weights: (d_model, n_heads * head_dim)
+        # per tensor, plus the concatenated [Wq | Wk | Wv] used by the
+        # single-GEMM qkv projection.  sgemm computes output columns
+        # independently, so the merged result's columns are exactly the
+        # separate GEMMs' columns.
+        self._wq_flat = self._flatten_weight(weights.wq)
+        self._wk_flat = self._flatten_weight(weights.wk)
+        self._wv_flat = self._flatten_weight(weights.wv)
+        self._w_qkv = np.ascontiguousarray(
+            np.concatenate([self._wq_flat, self._wk_flat, self._wv_flat], axis=1)
+        )
+        self._q_width = self._wq_flat.shape[1]
+        self._kv_width = self._wk_flat.shape[1]
+
+    @staticmethod
+    def _flatten_weight(weight: np.ndarray) -> np.ndarray:
+        """``(n_heads, d_model, head_dim)`` -> ``(d_model, n_heads * head_dim)``."""
+        n_heads, d_model, head_dim = weight.shape
+        return np.ascontiguousarray(
+            weight.transpose(1, 0, 2).reshape(d_model, n_heads * head_dim)
+        )
 
     @staticmethod
     def _project(hidden: np.ndarray, weight: np.ndarray) -> np.ndarray:
@@ -59,22 +142,56 @@ class AttentionLayer:
         flat = hidden @ weight.transpose(1, 0, 2).reshape(d_model, n_heads * head_dim)
         return flat.reshape(hidden.shape[0], n_heads, head_dim)
 
+    @staticmethod
+    def _as_f32(array: np.ndarray) -> np.ndarray:
+        """Cast to float32 only when needed (``astype`` always copies)."""
+        if array.dtype == np.float32:
+            return array
+        return array.astype(np.float32)
+
     def project_q(self, hidden: np.ndarray, positions: np.ndarray) -> np.ndarray:
         """Project hidden states to per-head queries ``(n, n_heads, head_dim)``."""
-        q = self._project(hidden, self.weights.wq)
-        if self.config.positional == "rope":
-            q = apply_rope(q, positions, self.config.rope_theta)
-        return q.astype(np.float32)
+        with profiling_span("project"):
+            head_dim = self.config.head_dim
+            flat = hidden @ self._wq_flat
+            q = flat.reshape(hidden.shape[0], -1, head_dim)
+            if self.config.positional == "rope":
+                q = apply_rope(q, positions, self.config.rope_theta)
+            return self._as_f32(q)
 
     def project_kv(
         self, hidden: np.ndarray, positions: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Project hidden states to keys/values ``(n, n_kv_heads, head_dim)``."""
-        k = self._project(hidden, self.weights.wk)
-        v = self._project(hidden, self.weights.wv)
-        if self.config.positional == "rope":
-            k = apply_rope(k, positions, self.config.rope_theta)
-        return k.astype(np.float32), v.astype(np.float32)
+        with profiling_span("project"):
+            head_dim = self.config.head_dim
+            k = (hidden @ self._wk_flat).reshape(hidden.shape[0], -1, head_dim)
+            v = (hidden @ self._wv_flat).reshape(hidden.shape[0], -1, head_dim)
+            if self.config.positional == "rope":
+                k = apply_rope(k, positions, self.config.rope_theta)
+            return self._as_f32(k), self._as_f32(v)
+
+    def project_qkv(
+        self, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project to queries, keys and values with one ``[Wq|Wk|Wv]`` GEMM.
+
+        Column-wise sgemm independence makes the three slices bit-identical
+        to :meth:`project_q` / :meth:`project_kv` on the same hidden states
+        (guarded by the merged-projection parity test).
+        """
+        with profiling_span("project"):
+            n = hidden.shape[0]
+            head_dim = self.config.head_dim
+            fused = hidden @ self._w_qkv
+            q_w, kv_w = self._q_width, self._kv_width
+            q = fused[:, :q_w].reshape(n, -1, head_dim)
+            k = fused[:, q_w : q_w + kv_w].reshape(n, -1, head_dim)
+            v = fused[:, q_w + kv_w :].reshape(n, -1, head_dim)
+            if self.config.positional == "rope":
+                q = apply_rope(q, positions, self.config.rope_theta)
+                k = apply_rope(k, positions, self.config.rope_theta)
+            return self._as_f32(q), self._as_f32(k), self._as_f32(v)
 
     def _expand_kv_heads(self, kv: np.ndarray) -> np.ndarray:
         """Repeat KV heads to match the number of query heads (GQA)."""
@@ -83,12 +200,27 @@ class AttentionLayer:
             return kv
         return np.repeat(kv, group, axis=1)
 
+    def _mirrors(self, cache) -> tuple[np.ndarray, np.ndarray] | None:
+        """Head-major transposed K/V views of ``cache``, if it maintains them.
+
+        Only usable when KV heads need no GQA expansion; callers fall back
+        to the transpose-copy path otherwise.
+        """
+        if self.config.gqa_group != 1:
+            return None
+        getter = getattr(cache, "kv_mirrors", None)
+        if getter is None:
+            return None
+        return getter()
+
     def attend(
         self,
         q: np.ndarray,
-        keys: np.ndarray,
-        values: np.ndarray,
+        keys: np.ndarray | None,
+        values: np.ndarray | None,
         query_positions: np.ndarray,
+        *,
+        kv_mirrors: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Causal attention of queries against cached keys/values.
 
@@ -97,59 +229,89 @@ class AttentionLayer:
         q:
             ``(n_q, n_heads, head_dim)`` queries.
         keys, values:
-            ``(n_kv, n_kv_heads, head_dim)`` cached keys and values.
+            ``(n_kv, n_kv_heads, head_dim)`` cached keys and values; may be
+            ``None`` when ``kv_mirrors`` is given.
         query_positions:
             Global position of each query; a query at position ``p`` may
             attend to cache rows ``0..p`` inclusive.
+        kv_mirrors:
+            Optional pre-transposed ``(n_heads, head_dim, n_kv)`` keys and
+            ``(n_heads, n_kv, head_dim)`` values (the layout the per-head
+            GEMMs consume), typically incrementally-maintained cache views.
+            Replaces the two ``ascontiguousarray`` transpose copies; the
+            operand *values* are identical, so results are bit-identical.
 
         Returns
         -------
         numpy.ndarray
             ``(n_q, d_model)`` attention output (after the output projection).
         """
-        keys_full = self._expand_kv_heads(keys)
-        values_full = self._expand_kv_heads(values)
-        # (n_heads, n_q, n_kv) logits via per-head GEMMs.
-        q_heads = np.ascontiguousarray(q.transpose(1, 0, 2))
-        k_heads = np.ascontiguousarray(keys_full.transpose(1, 2, 0))
-        logits = (q_heads @ k_heads) * self._scale
-        n_kv = keys_full.shape[0]
-        key_positions = np.arange(n_kv)
-        mask = key_positions[None, :] > np.asarray(query_positions)[:, None]
-        logits = np.where(mask[None, :, :], np.float32(-1e9), logits)
-        probs = softmax(logits, axis=-1)
-        v_heads = np.ascontiguousarray(values_full.transpose(1, 0, 2))
-        context = probs @ v_heads  # (n_heads, n_q, head_dim)
-        n_heads, n_q, head_dim = context.shape
-        # Output projection: concatenate heads and apply one GEMM.
-        context_flat = context.transpose(1, 0, 2).reshape(n_q, n_heads * head_dim)
-        wo_flat = self.weights.wo.reshape(n_heads * head_dim, -1)
-        return (context_flat @ wo_flat).astype(np.float32)
+        with profiling_span("attend"):
+            if kv_mirrors is not None:
+                k_heads, v_heads = kv_mirrors
+                n_kv = k_heads.shape[2]
+            else:
+                keys_full = self._expand_kv_heads(keys)
+                values_full = self._expand_kv_heads(values)
+                k_heads = np.ascontiguousarray(keys_full.transpose(1, 2, 0))
+                v_heads = np.ascontiguousarray(values_full.transpose(1, 0, 2))
+                n_kv = keys_full.shape[0]
+            # (n_heads, n_q, n_kv) logits via per-head GEMMs.  The matmul
+            # output is freshly owned, so the scale runs in place.
+            q_heads = np.ascontiguousarray(q.transpose(1, 0, 2))
+            logits = q_heads @ k_heads
+            np.multiply(logits, self._scale, out=logits)
+            mask = _causal_mask(q.shape[0], n_kv, query_positions)
+            if mask is not None:
+                logits = np.where(mask[None, :, :], np.float32(-1e9), logits)
+            # In-place softmax: same subtract/exp/divide as `softmax` on a
+            # buffer this method owns, minus the temporaries.
+            np.subtract(
+                logits, np.max(logits, axis=-1, keepdims=True), out=logits
+            )
+            np.exp(logits, out=logits)
+            probs = logits
+            probs /= np.sum(probs, axis=-1, keepdims=True)
+            context = probs @ v_heads  # (n_heads, n_q, head_dim)
+            n_heads, n_q, head_dim = context.shape
+            # Output projection: concatenate heads and apply one GEMM.
+            context_flat = context.transpose(1, 0, 2).reshape(n_q, n_heads * head_dim)
+            wo_flat = self.weights.wo.reshape(n_heads * head_dim, -1)
+            return self._as_f32(context_flat @ wo_flat)
+
+    def _attend_cache(
+        self, q: np.ndarray, cache, positions: np.ndarray
+    ) -> np.ndarray:
+        """Attend ``q`` against everything in ``cache`` (mirrors when offered)."""
+        mirrors = self._mirrors(cache)
+        if mirrors is not None:
+            return self.attend(q, None, None, positions, kv_mirrors=mirrors)
+        return self.attend(q, cache.keys(), cache.values(), positions)
 
     def forward_prefill(
         self, hidden: np.ndarray, cache: LayerKVCache, positions: np.ndarray
     ) -> np.ndarray:
         """Process a block of tokens, appending their K/V to ``cache``."""
-        q = self.project_q(hidden, positions)
-        k, v = self.project_kv(hidden, positions)
+        q, k, v = self.project_qkv(hidden, positions)
         cache.append(k, v)
-        return self.attend(q, cache.keys(), cache.values(), positions)
+        return self._attend_cache(q, cache, positions)
 
     def forward_decode(
         self, hidden: np.ndarray, cache: LayerKVCache, position: int
     ) -> np.ndarray:
         """Process a single token at ``position``, appending its K/V to ``cache``."""
         positions = np.asarray([position])
-        q = self.project_q(hidden, positions)
-        k, v = self.project_kv(hidden, positions)
+        q, k, v = self.project_qkv(hidden, positions)
         cache.append(k, v)
-        return self.attend(q, cache.keys(), cache.values(), positions)
+        return self._attend_cache(q, cache, positions)
 
     def forward_decode_batch(
         self,
         hidden: np.ndarray,
         caches: Sequence[LayerKVCache],
         positions: Sequence[int],
+        *,
+        fast_math: bool = False,
     ) -> np.ndarray:
         """One decode position for each of ``n`` *independent* sequences.
 
@@ -169,7 +331,24 @@ class AttentionLayer:
         a batched kernel would trade that reduction-order freedom for
         throughput; in this reproduction the fusion win is one model
         invocation per engine step plus the shared gather/bookkeeping path.
+
+        ``fast_math=True`` opts into exactly that trade: the q/k/v
+        projections run as whole-batch stacked GEMMs, so outputs may drift
+        within float tolerance and depend on batch composition.  Attention
+        itself stays per-sequence either way.
         """
+        if fast_math and hidden.shape[0] > 1:
+            pos_array = np.asarray(positions)
+            q, k, v = self.project_qkv(hidden, pos_array)
+            out = np.empty(
+                (hidden.shape[0], self.weights.wo.shape[2]), dtype=np.float32
+            )
+            for i, cache in enumerate(caches):
+                cache.append(k[i : i + 1], v[i : i + 1])
+                out[i] = self._attend_cache(
+                    q[i : i + 1], cache, pos_array[i : i + 1]
+                )[0]
+            return out
         out = np.empty((hidden.shape[0], self.weights.wo.shape[2]), dtype=np.float32)
         for i, (cache, position) in enumerate(zip(caches, positions)):
             out[i] = self.forward_decode(hidden[i : i + 1], cache, int(position))[0]

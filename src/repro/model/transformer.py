@@ -15,6 +15,7 @@ from repro.model.layers import TransformerBlock
 from repro.model.mlp import RMSNorm
 from repro.model.sampling import greedy_sample
 from repro.model.weights import ModelWeights
+from repro.profiling import span as profiling_span
 
 
 @dataclass
@@ -98,8 +99,10 @@ class Transformer:
         return hidden
 
     def _logits(self, hidden_row: np.ndarray) -> np.ndarray:
-        normed = self.final_norm.forward(hidden_row.reshape(1, -1))[0]
-        return (normed @ self.weights.unembedding).astype(np.float32)
+        with profiling_span("logits"):
+            normed = self.final_norm.forward(hidden_row.reshape(1, -1))[0]
+            logits = normed @ self.weights.unembedding
+            return logits if logits.dtype == np.float32 else logits.astype(np.float32)
 
     # -- phases --------------------------------------------------------------
 
@@ -135,7 +138,11 @@ class Transformer:
         return self._logits(hidden[0])
 
     def decode_step_batch(
-        self, token_ids: Sequence[int], caches: Sequence[ModelKVCache]
+        self,
+        token_ids: Sequence[int],
+        caches: Sequence[ModelKVCache],
+        *,
+        fast_math: bool = False,
     ) -> list[np.ndarray]:
         """One fused decode forward advancing ``n`` independent sequences.
 
@@ -149,6 +156,12 @@ class Transformer:
         batch composition — see
         :meth:`~repro.model.attention.AttentionLayer.forward_decode_batch`
         for the invariance argument.
+
+        ``fast_math=True`` (the engine's opt-in throughput mode) stacks the
+        per-row projection, MLP and unembedding GEMMs into whole-batch
+        GEMMs; outputs may then drift within float tolerance and depend on
+        batch composition.  Default ``False`` keeps the bit-identity
+        contract.
         """
         if len(token_ids) != len(caches):
             raise ValueError(
@@ -163,9 +176,17 @@ class Transformer:
                 raise ValueError("KV cache is full")
             positions.append(position)
         hidden = self.embed(list(token_ids), np.asarray(positions))
+        fused = fast_math and hidden.shape[0] > 1
         for layer_index, block in enumerate(self.blocks):
             layer_caches = [cache.layers[layer_index] for cache in caches]
-            hidden = block.forward_decode_batch(hidden, layer_caches, positions)
+            hidden = block.forward_decode_batch(
+                hidden, layer_caches, positions, fast_math=fused
+            )
+        if fused:
+            with profiling_span("logits"):
+                normed = self.final_norm.forward(hidden)
+                logits = (normed @ self.weights.unembedding).astype(np.float32)
+            return [logits[i] for i in range(logits.shape[0])]
         return [self._logits(hidden[i]) for i in range(hidden.shape[0])]
 
     def decode_verify_step(
@@ -197,7 +218,8 @@ class Transformer:
                 f"verify run of {len(token_ids)} tokens does not fit the cache "
                 f"(length {cache.length}, capacity {cache.capacity})"
             )
-        return [self.decode_step(token_id, cache) for token_id in token_ids]
+        with profiling_span("verify"):
+            return [self.decode_step(token_id, cache) for token_id in token_ids]
 
     def decode_verify_step_batch(
         self,

@@ -448,7 +448,11 @@ class QuantizedDenseBackend(DecodeBackend):
             if sequence.cache is None:
                 raise ValueError("sequence carries no decode cache to batch over")
             caches.append(sequence.cache)
-        return self.model.decode_step_batch(list(token_ids), caches)
+        return self.model.decode_step_batch(
+            list(token_ids),
+            caches,
+            fast_math=getattr(self.engine, "fast_math", False),
+        )
 
     @property
     def supports_speculation(self) -> bool:
@@ -775,8 +779,8 @@ class _BlockwiseDecodeState:
         for layer_index, block in enumerate(model.blocks):
             attn_in = block.norm_attn.forward(hidden)
             attention = block.attention
-            q = attention.project_q(attn_in, positions)[0]
-            k_new, v_new = attention.project_kv(attn_in, positions)
+            q, k_new, v_new = attention.project_qkv(attn_in, positions)
+            q = q[0]
             self.decode_caches[layer_index].append(k_new, v_new)
             context_vectors = chunk_level_decode_attention(
                 q,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.config import CocktailConfig
@@ -46,6 +46,7 @@ from repro.kvpool.pool import BlockPool, PoolExhausted
 from repro.kvpool.prefix import PrefixCache
 from repro.model.decode import BatchedDecodeStep
 from repro.model.tokenizer import Tokenizer
+from repro.profiling import span as profiling_span
 from repro.model.transformer import Transformer
 from repro.retrieval.base import Encoder
 from repro.serving.backends import (
@@ -106,6 +107,10 @@ class ExecutionStats:
     #: what pushes ``forwards_per_token`` below the batched floor of
     #: ``1 / mean_batch_occupancy``.
     n_accepted_tokens: int = 0
+    #: Per-phase wall-clock seconds (schedule / gather / dequant / project /
+    #: attend / verify / bookkeeping, …) accumulated by an attached
+    #: :class:`repro.profiling.StepProfiler`; empty unless one was attached.
+    phase_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -268,6 +273,7 @@ class EngineCore:
         batched_decode: bool | None = None,
         max_prefill_tokens_per_step: int | None = None,
         speculative: SpeculativeConfig | int | None = None,
+        fast_math: bool = False,
         retain_results: bool = True,
         clock: Callable[[], float] = time.perf_counter,
     ):
@@ -353,6 +359,18 @@ class EngineCore:
                     "it cannot be combined with batched_decode=False"
                 )
             self._proposer = create_proposer(speculative)
+        #: Opt-in throughput mode: the fused decode forward stacks the
+        #: per-row projection/MLP/unembedding GEMMs into whole-batch GEMMs.
+        #: Faster, but the stacked BLAS reduction order depends on the batch
+        #: shape, so outputs may drift within float tolerance and the
+        #: cross-backend *bit*-identity guarantee no longer applies.  Off by
+        #: default; every default-mode path is unchanged.
+        self.fast_math = bool(fast_math)
+        if self.fast_math and not self.batched_decode:
+            raise ValueError(
+                "fast_math accelerates the fused batched forward; "
+                "it cannot be combined with batched_decode=False"
+            )
         self.retain_results = retain_results
         self.exec_stats = ExecutionStats()
         self._clock = clock
@@ -529,24 +547,28 @@ class EngineCore:
         Returns the :class:`TokenEvent` stream produced by this step, in
         round-robin order.
         """
-        if not self.retain_results:
-            for request_id in self._fresh_results:
-                self._results.pop(request_id, None)
-            self._fresh_results = set()
-        self._admission_phase()
-        # Rebalance before decoding too: every running sequence may allocate
-        # one page this round, and a sequence that observes a transiently
-        # full pool mid-round would terminate "cache_full" instead of being
-        # preempted.  With the pre-round watermark (>= one free page per
-        # running sequence) that cannot happen except for a lone survivor,
-        # for which a full pool genuinely is cache-full.
-        self._rebalance()
-        events = self._decode_round()
-        self._rebalance()
-        for state in self.scheduler.waiting:
-            state.stats.n_queue_steps += 1
-        self.exec_stats.n_steps += 1
-        return events
+        with profiling_span("step"):
+            if not self.retain_results:
+                for request_id in self._fresh_results:
+                    self._results.pop(request_id, None)
+                self._fresh_results = set()
+            with profiling_span("schedule"):
+                self._admission_phase()
+                # Rebalance before decoding too: every running sequence may
+                # allocate one page this round, and a sequence that observes
+                # a transiently full pool mid-round would terminate
+                # "cache_full" instead of being preempted.  With the
+                # pre-round watermark (>= one free page per running
+                # sequence) that cannot happen except for a lone survivor,
+                # for which a full pool genuinely is cache-full.
+                self._rebalance()
+            events = self._decode_round()
+            with profiling_span("schedule"):
+                self._rebalance()
+            for state in self.scheduler.waiting:
+                state.stats.n_queue_steps += 1
+            self.exec_stats.n_steps += 1
+            return events
 
     # -- admission (incl. chunked prefill) ------------------------------------
 

@@ -29,6 +29,9 @@ import abc
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
 
 @dataclass(frozen=True)
 class SpeculativeConfig:
@@ -128,20 +131,22 @@ class NgramProposer(DraftProposer):
         self.min_ngram = min_ngram
 
     def propose(self, token_ids: Sequence[int], max_tokens: int) -> list[int]:
-        history = [int(t) for t in token_ids]
-        n = len(history)
+        history = np.asarray(token_ids, dtype=np.int64)
+        n = int(history.shape[0])
         limit = min(int(max_tokens), self.k)
         if limit < 1 or n <= self.min_ngram:
             return []
         for size in range(min(self.max_ngram, n - 1), self.min_ngram - 1, -1):
-            suffix = history[-size:]
             # Most recent earlier occurrence wins: a decode loop's previous
             # period is a better precedent than a stale prompt mention.  The
-            # scan stops at n - size - 1, so at least one token follows any
-            # match.
-            for start in range(n - size - 1, -1, -1):
-                if history[start : start + size] == suffix:
-                    return history[start + size : start + size + limit]
+            # windows end at start n - size - 1, so at least one token
+            # follows any match.  One vectorised compare over all candidate
+            # windows replaces the per-start Python list comparisons.
+            windows = sliding_window_view(history[: n - 1], size)
+            hits = np.flatnonzero((windows == history[n - size :]).all(axis=1))
+            if hits.size:
+                start = int(hits[-1])
+                return [int(t) for t in history[start + size : start + size + limit]]
         return []
 
 
