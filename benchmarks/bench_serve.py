@@ -35,15 +35,10 @@ from repro.profiling import StepProfiler
 from repro.serving import InferenceEngine
 from repro.serving.server import ServerCore, ServingServer
 from repro.serving.server.client import stream_completion
+from repro.workloads.stats import percentile
 
 N_CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", 32))
 N_TOKENS = 12
-
-
-def _percentile(values: list[float], q: float) -> float:
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
 
 
 async def _drive_load(server: ServingServer, samples) -> dict:
@@ -80,7 +75,7 @@ async def _drive_load(server: ServingServer, samples) -> dict:
         "tokens_per_second": n_tokens / elapsed,
         "completion_tokens": n_tokens,
         "mean_ttft_seconds": sum(ttfts) / len(ttfts),
-        "p95_ttft_seconds": _percentile(ttfts, 0.95),
+        "p95_ttft_seconds": percentile(ttfts, 0.95),
         "mean_tpot_seconds": sum(tpots) / len(tpots),
         "mean_queue_seconds": sum(queues) / len(queues),
         "mean_wall_seconds": sum(wall_latencies) / len(wall_latencies),

@@ -1,0 +1,173 @@
+"""Workload scenario benchmark: SLO attainment from both harness drivers.
+
+Every scenario in :data:`repro.workloads.SCENARIOS` is generated from a
+seed, stamped with sequential-replay oracles, and replayed twice:
+
+* through the :class:`EngineDriver` under a virtual clock — TTFT/TPOT in
+  deterministic engine-step units, goodput against the step-unit SLO
+  deadlines, full oracle verification;
+* through the :class:`HttpDriver` against a live :class:`ServingServer`
+  (a subset of scenarios, to keep the run short) — the same oracles over
+  real SSE streaming, with wall-clock latencies reported for trend
+  tracking only.
+
+Each run appends one sample to ``benchmarks/results/BENCH_workloads.json``
+— per-scenario TTFT/TPOT p50/p95, goodput, acceptance rate, cached-token
+and preemption totals, from both drivers.  This series is the measured
+bar for ROADMAP item 3's adaptive-control work: a knob change must move
+these numbers, on these scenarios, to count.
+
+Assertions here are correctness and *ratio* checks only — absolute
+wall-clock time is never asserted (CI machines are noisy); the virtual
+clock numbers are exact and reproducible from the seed.
+
+Knobs: ``REPRO_WORKLOAD_SEED`` (default 0), ``REPRO_WORKLOAD_SCENARIOS``
+(comma list, default: all).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.config import CocktailConfig
+from repro.datasets.longbench import build_dataset, build_vocabulary
+from repro.evaluation.setup import build_model, build_tokenizer
+from repro.serving import InferenceEngine
+from repro.serving.server import ServerCore, ServingServer
+from repro.workloads import (
+    SCENARIOS,
+    EngineDriver,
+    HttpDriver,
+    SloSpec,
+    VirtualClock,
+    WorkloadGenerator,
+    attach_oracles,
+    build_report,
+    check_oracles,
+)
+
+SEED = int(os.environ.get("REPRO_WORKLOAD_SEED", 0))
+SCENARIO_NAMES = tuple(
+    name
+    for name in os.environ.get(
+        "REPRO_WORKLOAD_SCENARIOS", ",".join(sorted(SCENARIOS))
+    ).split(",")
+    if name
+)
+#: HTTP replays are wall-clock bound; a representative subset keeps the
+#: bench fast while still sampling steady-state, sharing and churn.
+HTTP_SCENARIOS = ("poisson", "shared_prefix", "cancel_storm")
+
+
+def _fresh_engine(model, tokenizer, vocab, **hints) -> InferenceEngine:
+    return InferenceEngine(
+        model, tokenizer, CocktailConfig(), lexicon=vocab.lexicon, **hints
+    )
+
+
+def _append_trajectory(metrics: dict) -> None:
+    """One sample per run, newest last; the artifact is the whole series."""
+    path = RESULTS_DIR / "BENCH_workloads.json"
+    series = []
+    if path.exists():
+        try:
+            series = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            series = []
+    series.append(
+        {
+            "benchmark": "workloads",
+            "unix_time": int(time.time()),
+            "metrics": metrics,
+        }
+    )
+    path.write_text(json.dumps(series, indent=2) + "\n")
+
+
+def test_bench_workloads(results_dir):
+    vocab = build_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model("llama2-7b", tokenizer)
+    samples = build_dataset("qasper", 4, vocab=vocab, seed=7)
+    generator = WorkloadGenerator(samples, block_size=16)
+
+    traces = {}
+    for name in SCENARIO_NAMES:
+        trace = generator.generate(name, SEED)
+        attach_oracles(trace, _fresh_engine(model, tokenizer, vocab))
+        traces[name] = trace
+
+    # -- engine driver: deterministic virtual-step latencies -----------------
+    engine_reports = {}
+    for name, trace in traces.items():
+        clock = VirtualClock()
+        engine = _fresh_engine(
+            model, tokenizer, vocab,
+            max_running=4, clock=clock, **trace.engine_hints,
+        )
+        run = EngineDriver(engine, clock=clock).run(trace)
+        check_oracles(run)
+        engine_reports[name] = build_report(run)
+
+    # -- HTTP driver: the same oracles over real SSE streaming ---------------
+    async def http_pass() -> dict:
+        reports = {}
+        for name in HTTP_SCENARIOS:
+            if name not in traces:
+                continue
+            core = ServerCore(
+                _fresh_engine(model, tokenizer, vocab, max_running=4)
+            )
+            async with ServingServer(core) as server:
+                driver = HttpDriver(server.host, server.port, time_scale=0.01)
+                run = await driver.run(trace=traces[name])
+            check_oracles(run)
+            # Wall-clock deadlines are trend data, not pass/fail: score
+            # against a deliberately generous seconds-scale spec.
+            reports[name] = build_report(run, SloSpec().scaled(1.0))
+        return reports
+
+    http_reports = asyncio.run(http_pass())
+
+    metrics = {
+        "seed": SEED,
+        "engine": {n: r.to_payload() for n, r in engine_reports.items()},
+        "http": {n: r.to_payload() for n, r in http_reports.items()},
+    }
+    _append_trajectory(metrics)
+
+    header = f"{'scenario':<14} {'drv':<6} {'n':>3} {'goodput':>8} " \
+             f"{'ttft_p50':>9} {'ttft_p95':>9} {'tpot_p50':>9} {'cached':>7}"
+    print("\n" + header)
+    print("-" * len(header))
+    for driver_name, reports in (("engine", engine_reports), ("http", http_reports)):
+        for name, report in reports.items():
+            inter = report.classes.get("interactive") or next(
+                iter(report.classes.values())
+            )
+            fmt = (lambda v: f"{v:9.3f}" if v is not None else f"{'-':>9}")
+            print(
+                f"{name:<14} {driver_name:<6} {report.n_requests:>3} "
+                f"{report.goodput:>8.2f} {fmt(inter.ttft_p50)} "
+                f"{fmt(inter.ttft_p95)} {fmt(inter.tpot_p50)} "
+                f"{report.cached_tokens:>7}"
+            )
+
+    # Correctness gates (oracle checks above are the real bar): the
+    # engine-driver pass must complete everything it didn't cancel, and
+    # prefix-sharing scenarios must actually share.
+    for name, report in engine_reports.items():
+        assert report.n_completed + report.n_cancelled == report.n_requests
+        assert report.n_rejected == 0
+    if "shared_prefix" in engine_reports:
+        assert engine_reports["shared_prefix"].cached_tokens > 0
+    if "cancel_storm" in engine_reports:
+        assert engine_reports["cancel_storm"].n_cancelled > 0
+    # The virtual-clock goodput is deterministic: under default deadlines
+    # the steady-state scenarios must fully attain their SLOs.
+    if "poisson" in engine_reports:
+        assert engine_reports["poisson"].goodput == 1.0

@@ -1,0 +1,67 @@
+"""Seeded synthetic traffic generation and the self-checking SLO harness.
+
+The workload layer turns a single seed into a deterministic traffic trace
+(Poisson/bursty arrivals, multi-turn conversations, shared-prefix fleets,
+long prefill bursts, mixed blends, cancel storms), stamps every request
+with an oracle by sequential replay, drives the trace through the serving
+stack in-process or over HTTP, and scores the run against per-class SLO
+deadlines.  See ``README.md`` § "Workloads & SLO harness".
+"""
+
+from repro.workloads.drivers import (
+    CANCELLED,
+    COMPLETED,
+    REJECTED,
+    EngineDriver,
+    HttpDriver,
+    RequestOutcome,
+    TraceRun,
+    VirtualClock,
+    check_oracles,
+)
+from repro.workloads.generator import WorkloadGenerator, assign_tenants, attach_oracles
+from repro.workloads.scenarios import SCENARIOS
+from repro.workloads.slo import ClassReport, SloClass, SloReport, SloSpec, build_report
+from repro.workloads.stats import (
+    burst_arrival_times,
+    percentile,
+    poisson_arrival_times,
+    summarize,
+)
+from repro.workloads.trace import (
+    Oracle,
+    WorkloadRequest,
+    WorkloadTrace,
+    prefix_family,
+    stamp_hit_floors,
+)
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "REJECTED",
+    "SCENARIOS",
+    "ClassReport",
+    "EngineDriver",
+    "HttpDriver",
+    "Oracle",
+    "RequestOutcome",
+    "SloClass",
+    "SloReport",
+    "SloSpec",
+    "TraceRun",
+    "VirtualClock",
+    "WorkloadGenerator",
+    "WorkloadRequest",
+    "WorkloadTrace",
+    "assign_tenants",
+    "attach_oracles",
+    "build_report",
+    "burst_arrival_times",
+    "check_oracles",
+    "percentile",
+    "poisson_arrival_times",
+    "prefix_family",
+    "stamp_hit_floors",
+    "summarize",
+]

@@ -1,0 +1,210 @@
+"""SLO attainment reporting over trace runs.
+
+A :class:`SloSpec` assigns each traffic class a TTFT and TPOT deadline in
+the run's own clock units (virtual steps in-process, seconds over HTTP);
+:func:`build_report` folds a :class:`~repro.workloads.drivers.TraceRun`
+into an :class:`SloReport` — per-class and overall latency percentiles,
+goodput (completed *within deadline* / offered), acceptance rate, and
+prefix-cache adoption totals.  The report is the measured bar ROADMAP
+item 3's adaptive-control work tunes against, and what
+``benchmarks/bench_workloads.py`` appends to its trajectory file.
+
+Deadlines deliberately default to generous multiples of the harness's
+decode cadence: the signal tracked over time is *relative* drift, never
+absolute wall-clock — CI runs on noisy shared machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.drivers import COMPLETED, TraceRun
+from repro.workloads.stats import percentile
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """Deadlines of one traffic class, in run clock units."""
+
+    name: str
+    ttft_deadline: float
+    tpot_deadline: float
+
+
+@dataclass
+class SloSpec:
+    """The deadline table a report is scored against.
+
+    The defaults are tuned for the virtual-clock engine driver, where one
+    unit is one engine step: an interactive request should start streaming
+    within ~25 steps of arrival even under bursts, and decode at a step
+    per token or better once started.  HTTP runs should pass an explicit
+    spec scaled to the transport (see ``bench_workloads``).
+    """
+
+    classes: dict[str, SloClass] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            self.classes = {
+                "interactive": SloClass("interactive", 25.0, 4.0),
+                "batch": SloClass("batch", 120.0, 8.0),
+                "background": SloClass("background", 600.0, 16.0),
+            }
+
+    def scaled(self, factor: float) -> "SloSpec":
+        """The same deadline table with every bound multiplied."""
+        return SloSpec({
+            name: SloClass(name, c.ttft_deadline * factor, c.tpot_deadline * factor)
+            for name, c in self.classes.items()
+        })
+
+    def deadline(self, slo_class: str) -> SloClass:
+        try:
+            return self.classes[slo_class]
+        except KeyError:
+            raise ValueError(
+                f"no SLO class {slo_class!r}; known: {sorted(self.classes)}"
+            ) from None
+
+
+@dataclass
+class ClassReport:
+    """Attainment of one traffic class within one run."""
+
+    slo_class: str
+    n_offered: int
+    n_completed: int
+    n_within_slo: int
+    ttft_p50: float | None
+    ttft_p95: float | None
+    tpot_p50: float | None
+    tpot_p95: float | None
+
+    @property
+    def goodput(self) -> float:
+        """Deadline-met completions over *offered* requests.
+
+        Rejections and cancels count against goodput: a 429 is not a
+        success no matter how fast it was.
+        """
+        return self.n_within_slo / self.n_offered if self.n_offered else 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "class": self.slo_class,
+            "n_offered": self.n_offered,
+            "n_completed": self.n_completed,
+            "n_within_slo": self.n_within_slo,
+            "goodput": self.goodput,
+            "ttft_p50": self.ttft_p50,
+            "ttft_p95": self.ttft_p95,
+            "tpot_p50": self.tpot_p50,
+            "tpot_p95": self.tpot_p95,
+        }
+
+
+@dataclass
+class SloReport:
+    """Scenario-level SLO scorecard of one trace run."""
+
+    scenario: str
+    seed: int
+    driver: str
+    n_requests: int
+    n_completed: int
+    n_cancelled: int
+    n_rejected: int
+    makespan: float
+    classes: dict[str, ClassReport]
+    #: Context tokens adopted from the prefix index, summed over the run.
+    cached_tokens: int = 0
+    n_preemptions: int = 0
+
+    @property
+    def goodput(self) -> float:
+        """Overall deadline-met fraction across every class."""
+        offered = sum(c.n_offered for c in self.classes.values())
+        within = sum(c.n_within_slo for c in self.classes.values())
+        return within / offered if offered else 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Admitted fraction: 1 - rejections / offered."""
+        if not self.n_requests:
+            return 0.0
+        return 1.0 - self.n_rejected / self.n_requests
+
+    def to_payload(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "driver": self.driver,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_cancelled": self.n_cancelled,
+            "n_rejected": self.n_rejected,
+            "makespan": self.makespan,
+            "goodput": self.goodput,
+            "acceptance_rate": self.acceptance_rate,
+            "cached_tokens": self.cached_tokens,
+            "n_preemptions": self.n_preemptions,
+            "classes": {
+                name: report.to_payload()
+                for name, report in sorted(self.classes.items())
+            },
+        }
+
+
+def build_report(run: TraceRun, spec: SloSpec | None = None) -> SloReport:
+    """Score ``run`` against ``spec`` (defaults: virtual-step deadlines)."""
+    spec = spec or SloSpec()
+    by_class: dict[str, list] = {}
+    for request in run.trace.requests:
+        by_class.setdefault(request.slo_class, []).append(request)
+
+    classes: dict[str, ClassReport] = {}
+    for slo_class, requests in sorted(by_class.items()):
+        deadline = spec.deadline(slo_class)
+        ttfts: list[float] = []
+        tpots: list[float] = []
+        n_completed = 0
+        n_within = 0
+        for request in requests:
+            outcome = run.outcomes.get(request.key)
+            if outcome is None or outcome.status != COMPLETED:
+                continue
+            n_completed += 1
+            within = True
+            if outcome.ttft is not None:
+                ttfts.append(outcome.ttft)
+                within = within and outcome.ttft <= deadline.ttft_deadline
+            if outcome.tpot is not None:
+                tpots.append(outcome.tpot)
+                within = within and outcome.tpot <= deadline.tpot_deadline
+            if within:
+                n_within += 1
+        classes[slo_class] = ClassReport(
+            slo_class=slo_class,
+            n_offered=len(requests),
+            n_completed=n_completed,
+            n_within_slo=n_within,
+            ttft_p50=percentile(ttfts, 0.50) if ttfts else None,
+            ttft_p95=percentile(ttfts, 0.95) if ttfts else None,
+            tpot_p50=percentile(tpots, 0.50) if tpots else None,
+            tpot_p95=percentile(tpots, 0.95) if tpots else None,
+        )
+
+    return SloReport(
+        scenario=run.trace.scenario,
+        seed=run.trace.seed,
+        driver=run.driver,
+        n_requests=len(run.trace.requests),
+        n_completed=run.n_completed,
+        n_cancelled=run.n_cancelled,
+        n_rejected=run.n_rejected,
+        makespan=run.makespan,
+        classes=classes,
+        cached_tokens=sum(o.cached_tokens for o in run.outcomes.values()),
+        n_preemptions=sum(o.n_preemptions for o in run.outcomes.values()),
+    )

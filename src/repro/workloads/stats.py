@@ -1,0 +1,92 @@
+"""Shared arrival-process and latency statistics for workloads and benches.
+
+One home for the math every load harness needs — percentiles over small
+samples, Poisson/bursty arrival processes, latency summaries — so that
+:mod:`benchmarks.bench_serve`, :mod:`benchmarks.bench_workloads` and the
+scenario test suites all agree on what "p95" and "Poisson at rate λ" mean
+instead of each hand-rolling a subtly different copy.
+
+All randomness flows through an explicit :class:`numpy.random.Generator`,
+so a trace built from a seed is reproducible to the last arrival gap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over a small sample (0 <= q <= 1).
+
+    The rank is rounded, not interpolated — on the handful-of-requests
+    samples the serving benchmarks produce, an interpolated percentile
+    reports latencies nobody actually observed.  Raises on an empty
+    sample: a missing percentile should be an explicit ``None`` at the
+    caller, never a silent 0.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarize(values: Sequence[float]) -> dict[str, float | None]:
+    """Mean/p50/p95/max of a latency sample (all ``None`` when empty)."""
+    if not values:
+        return {"mean": None, "p50": None, "p95": None, "max": None}
+    return {
+        "mean": float(sum(values) / len(values)),
+        "p50": float(percentile(values, 0.50)),
+        "p95": float(percentile(values, 0.95)),
+        "max": float(max(values)),
+    }
+
+
+def poisson_arrival_times(
+    rng: np.random.Generator, rate: float, n: int, *, start: float = 0.0
+) -> list[float]:
+    """``n`` arrival times of a Poisson process with ``rate`` events/unit.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate``; the
+    first arrival sits one gap after ``start``.  Times are in abstract
+    clock units — the driver decides whether a unit is an engine step
+    (virtual time) or a scaled wall-clock second.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return list(np.cumsum(gaps) + start)
+
+
+def burst_arrival_times(
+    rng: np.random.Generator,
+    n_bursts: int,
+    burst_size: int,
+    gap: float,
+    *,
+    jitter: float = 0.25,
+    start: float = 0.0,
+) -> list[float]:
+    """Bursty arrivals: ``n_bursts`` volleys of ``burst_size``, ``gap`` apart.
+
+    Requests inside a volley land within ``jitter`` clock units of the
+    volley's start (uniform), modelling a thundering herd followed by an
+    idle valley — the arrival shape that punishes admission control the
+    most.
+    """
+    if n_bursts < 1 or burst_size < 1:
+        raise ValueError("n_bursts and burst_size must be >= 1")
+    if gap <= 0:
+        raise ValueError(f"gap must be > 0, got {gap}")
+    times: list[float] = []
+    for burst in range(n_bursts):
+        base = start + burst * gap
+        times.extend(base + rng.uniform(0.0, max(jitter, 1e-9), size=burst_size))
+    return sorted(times)

@@ -1,24 +1,30 @@
 """Randomized serving stress: pool invariants under chaotic scheduling.
 
-Hundreds of interleaved submit / decode / preempt / swap / finish steps are
-driven through a deliberately starved engine (tiny bounded pool, tight
-token budget, prefix reuse on, shared documents so requests collide on the
-same pages) while structural invariants are asserted at **every** step:
+Traffic here is generator-driven: every request list comes from a seeded
+:class:`repro.workloads.WorkloadGenerator` trace with oracles attached by
+sequential replay, so the chaos is reproducible from the seed alone and
+every survivor is checked bit-for-bit — not just for "didn't crash".
 
-* no leaks and no double frees — the pool's refcount map, block map and
-  incremental byte counter stay consistent (``BlockPool.assert_consistent``
-  recomputes the walk);
-* shared pages are never evicted or swapped under a live reader;
-* the prefix index only ever references allocated pages;
-* at drain every refcount hits zero: after clearing the index,
-  ``allocated_bytes()`` returns to 0.
+Three pressure layers:
 
-Decoded outputs must additionally be bit-identical to an unconstrained
-reference engine — preemption, swap round-trips and page sharing are pure
-storage behaviours.
+* :class:`TestPoolLevelStress` — pure allocator fuzz: random
+  retain/release/COW/swap traffic against a mirror, and prefix-index
+  insert/match/evict cycles with live readers on a tiny pool;
+* :class:`TestEngineStress` — workload traces replayed through
+  deliberately starved engines (tiny bounded pool, tight token budget,
+  preemption forced on every seed) with ``BlockPool.assert_consistent``
+  and the index walk recomputed at **every** step;
+* :class:`TestScenarioMatrix` — every workload shape × the seed matrix on
+  an unpressured engine: outputs bit-identical to the sequential replay,
+  structural prefix-hit floors met, pool drained to zero at the end.
 
-CI runs this file standalone under a fixed seed matrix (see the workflow);
-the seeds below keep the default suite fast while staying deterministic.
+:class:`TestDisconnectStorm` additionally runs a generated cancel/
+reconnect storm through the threaded :class:`ServerCore`, reconciling
+server and tenant counters at drain.
+
+CI runs this file standalone under a fixed seed matrix (see the
+workflow); the seeds below keep the default suite fast while staying
+deterministic.
 """
 
 from __future__ import annotations
@@ -32,7 +38,14 @@ from repro.core.config import CocktailConfig
 from repro.kvpool import BlockPool, PagedKVCache, PrefixCache, block_hashes
 from repro.kvpool.pool import PoolExhausted
 from repro.serving.engine import InferenceEngine
-from repro.serving.request import GenerationRequest
+from repro.workloads import (
+    SCENARIOS,
+    EngineDriver,
+    VirtualClock,
+    WorkloadGenerator,
+    attach_oracles,
+    check_oracles,
+)
 
 #: The default seed matrix keeps the tier-1 suite fast; the nightly workflow
 #: widens it (``REPRO_STRESS_SEEDS=0,1,..,9``) for the extended soak.
@@ -41,6 +54,26 @@ SEEDS = tuple(
 )
 
 N_LAYERS, H, D, BS = 2, 2, 8, 8
+
+
+def make_engine(retrieval_model, tokenizer, vocab, **kwargs) -> InferenceEngine:
+    return InferenceEngine(
+        retrieval_model,
+        tokenizer,
+        CocktailConfig(chunk_size=16),
+        lexicon=vocab.lexicon,
+        **kwargs,
+    )
+
+
+def starved_pool(config, capacity_blocks=13) -> BlockPool:
+    return BlockPool(
+        config.n_layers,
+        config.n_kv_heads,
+        config.head_dim,
+        block_size=16,
+        capacity_blocks=capacity_blocks,
+    )
 
 
 class TestPoolLevelStress:
@@ -151,82 +184,54 @@ class TestPoolLevelStress:
 
 
 class TestEngineStress:
+    """Generated traffic through starved engines: invariants every step.
+
+    The pool is sized for ~2 sequences while the trace runs up to 3
+    concurrently over shared documents, so preemption (swap on even
+    seeds, recompute on odd) is guaranteed; fixed-length context slices
+    make distinct requests collide on identical documents, keeping the
+    prefix index hot under eviction pressure.  Hit *floors* are not
+    asserted here — a starved index is allowed to evict — but outputs
+    must still match the sequential-replay oracles bit for bit.
+    """
+
     @pytest.mark.parametrize("seed", SEEDS)
     def test_chaotic_serving_with_prefix_reuse(
         self, vocab, tokenizer, retrieval_model, tiny_samples, seed
     ):
-        rng = np.random.default_rng(seed)
-        config = retrieval_model.config
-        pool = BlockPool(
-            config.n_layers,
-            config.n_kv_heads,
-            config.head_dim,
-            block_size=16,
-            capacity_blocks=13,  # ~2 sequences' worth: constant pressure
+        generator = WorkloadGenerator(tiny_samples[:2], block_size=16)
+        trace = generator.generate(
+            "poisson",
+            seed,
+            n_requests=10,
+            rate=2.0,
+            context_range=(56, 56),  # fixed slices: heavy page collisions
+            max_new_tokens=6,
+            backends=("dense", "fp16", "kivi", "blockwise"),
         )
-        engine = InferenceEngine(
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+
+        pool = starved_pool(retrieval_model.config)
+        clock = VirtualClock()
+        engine = make_engine(
             retrieval_model,
             tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
+            vocab,
             max_running=3,
             pool=pool,
             # Two prompts fit, the third round of decode rows does not: the
             # token budget guarantees preemption traffic on every seed.
             max_live_tokens=132,
             preemption="swap" if seed % 2 == 0 else "recompute",
+            clock=clock,
         )
-        backends = ("dense", "fp16", "kivi", "blockwise")
-        # Shared-document traffic: few documents, many requests.
-        pending = [
-            GenerationRequest(
-                tiny_samples[i % 2].context_words[:56],
-                tiny_samples[i % 2].query_words,
-                max_new_tokens=6,
-                backend=backends[i % len(backends)],
-            )
-            for i in range(10)
-        ]
-        reference_engine = InferenceEngine(
-            retrieval_model,
-            tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
+        run = EngineDriver(engine, clock=clock).run(trace)
+        assert run.n_steps > 15  # genuinely interleaved, not one mega-batch
+        check_oracles(run, hit_floors=False)
+
+        total_preemptions = sum(
+            outcome.n_preemptions for outcome in run.outcomes.values()
         )
-        references = {}
-        for request in pending:
-            key = (request.context_words, request.query_words, request.backend)
-            if key not in references:
-                result = reference_engine.run(
-                    GenerationRequest(
-                        request.context_words,
-                        request.query_words,
-                        max_new_tokens=6,
-                        backend=request.backend,
-                    ),
-                    pop=True,
-                )
-                references[key] = (result.token_ids, result.stopped_by)
-
-        submitted = []
-        n_steps = 0
-        while pending or engine.has_pending:
-            n_steps += 1
-            if pending and (rng.random() < 0.5 or not engine.has_pending):
-                request = pending.pop()
-                submitted.append((engine.submit(request), request))
-            engine.step()
-            pool.assert_consistent()
-            engine.prefix_cache.assert_consistent()
-            assert pool.n_allocated <= 13
-        assert n_steps > 20  # genuinely interleaved, not one mega-batch
-
-        total_preemptions = 0
-        for rid, request in submitted:
-            result = engine.result(rid, pop=True)
-            key = (request.context_words, request.query_words, request.backend)
-            assert (result.token_ids, result.stopped_by) == references[key]
-            total_preemptions += result.stats.n_preemptions
         # Under this much pressure the schedule must actually have preempted
         # (otherwise the stress proves nothing).
         assert total_preemptions >= 1
@@ -244,76 +249,38 @@ class TestEngineStress:
         """The same pressure cooker with n-gram speculative decoding on:
         draft windows clamp against the starved pool, verify rollbacks
         release rejected pages, and every structural invariant — plus
-        bit-identical outputs against a plain reference — must survive."""
+        bit-identical outputs against the replay oracles — must survive."""
         from repro.serving.spec import SpeculativeConfig
 
-        rng = np.random.default_rng(seed + 200)
-        config = retrieval_model.config
-        pool = BlockPool(
-            config.n_layers,
-            config.n_kv_heads,
-            config.head_dim,
-            block_size=16,
-            capacity_blocks=13,
+        generator = WorkloadGenerator(tiny_samples[:2], block_size=16)
+        trace = generator.generate(
+            "poisson",
+            seed + 200,
+            n_requests=8,
+            rate=2.0,
+            context_range=(56, 56),
+            max_new_tokens=10,
+            backends=("dense", "fp16", "cocktail", "blockwise"),
         )
-        engine = InferenceEngine(
+        for request in trace:
+            request.stop_on_special = False  # decode into the repetitive regime
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+
+        pool = starved_pool(retrieval_model.config)
+        clock = VirtualClock()
+        engine = make_engine(
             retrieval_model,
             tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
+            vocab,
             max_running=3,
             pool=pool,
             max_live_tokens=148,
             preemption="swap" if seed % 2 == 0 else "recompute",
             speculative=SpeculativeConfig(k=4),
+            clock=clock,
         )
-        backends = ("dense", "fp16", "cocktail", "blockwise")
-        pending = [
-            GenerationRequest(
-                tiny_samples[i % 2].context_words[:56],
-                tiny_samples[i % 2].query_words,
-                max_new_tokens=10,
-                backend=backends[i % len(backends)],
-                stop_on_special=False,  # decode into the repetitive regime
-            )
-            for i in range(8)
-        ]
-        reference_engine = InferenceEngine(
-            retrieval_model,
-            tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
-        )
-        references = {}
-        for request in pending:
-            key = (request.context_words, request.query_words, request.backend)
-            if key not in references:
-                result = reference_engine.run(
-                    GenerationRequest(
-                        request.context_words,
-                        request.query_words,
-                        max_new_tokens=10,
-                        backend=request.backend,
-                        stop_on_special=False,
-                    ),
-                    pop=True,
-                )
-                references[key] = (result.token_ids, result.stopped_by)
-
-        submitted = []
-        while pending or engine.has_pending:
-            if pending and (rng.random() < 0.5 or not engine.has_pending):
-                request = pending.pop()
-                submitted.append((engine.submit(request), request))
-            engine.step()
-            pool.assert_consistent()
-            engine.prefix_cache.assert_consistent()
-            assert pool.n_allocated <= 13
-
-        for rid, request in submitted:
-            result = engine.result(rid, pop=True)
-            key = (request.context_words, request.query_words, request.backend)
-            assert (result.token_ids, result.stopped_by) == references[key]
+        run = EngineDriver(engine, clock=clock).run(trace)
+        check_oracles(run, hit_floors=False)
         # Speculation genuinely engaged despite the pool pressure.
         assert engine.exec_stats.n_drafted_tokens > 0
         assert engine.exec_stats.n_accepted_tokens > 0
@@ -325,70 +292,87 @@ class TestEngineStress:
         assert pool.allocated_bytes() == 0
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_outputs_survive_the_chaos_bit_identical(
+    def test_shared_prefix_floors_survive_a_bounded_pool(
         self, vocab, tokenizer, retrieval_model, tiny_samples, seed
     ):
-        """Same pressure cooker, but checking every decoded stream."""
-        rng = np.random.default_rng(seed + 100)
-        config = retrieval_model.config
-        pool = BlockPool(
-            config.n_layers,
-            config.n_kv_heads,
-            config.head_dim,
-            block_size=16,
-            capacity_blocks=20,
+        """A shared-document fleet on a pool with little slack: the hit
+        floors are dependency-gated (followers wait for the leader), so
+        they must hold even though the pool forces sequences to queue."""
+        generator = WorkloadGenerator(tiny_samples, block_size=16)
+        trace = generator.generate("shared_prefix", seed, context_len=64)
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+        assert trace.metadata["hit_floor_total"] > 0
+
+        pool = starved_pool(retrieval_model.config, capacity_blocks=24)
+        clock = VirtualClock()
+        engine = make_engine(
+            retrieval_model, tokenizer, vocab,
+            max_running=2, pool=pool, clock=clock,
         )
-        engine = InferenceEngine(
-            retrieval_model,
-            tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
-            max_running=2,
-            pool=pool,
-        )
-        sample = tiny_samples[int(rng.integers(len(tiny_samples)))]
-        requests = [
-            GenerationRequest(
-                sample.context_words[:48],
-                sample.query_words,
-                max_new_tokens=4,
-                backend=backend,
-            )
-            for backend in ("dense", "fp16", "dense", "kivi")
-        ]
-        reference = InferenceEngine(
-            retrieval_model,
-            tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
-            prefix_caching=False,
-        ).run_batch(
-            [
-                GenerationRequest(
-                    r.context_words, r.query_words, max_new_tokens=4, backend=r.backend
-                )
-                for r in requests
-            ]
-        )
-        results = engine.run_batch(requests)
-        for got, want in zip(results, reference):
-            assert got.token_ids == want.token_ids
-            assert got.stopped_by == want.stopped_by
-        # The repeated-document requests hit the index even mid-pressure.
-        assert any(r.stats.cache_hit_blocks > 0 for r in results)
+        run = EngineDriver(engine, clock=clock).run(trace)
+        check_oracles(run)  # floors included
+        assert any(o.cache_hit_blocks > 0 for o in run.outcomes.values())
         engine.prefix_cache.clear()
         assert pool.allocated_bytes() == 0
 
 
-class TestDisconnectStorm:
-    """Random mid-stream client disconnects against the serving front door.
+class TestScenarioMatrix:
+    """Every workload shape × the seed matrix, fully self-checking.
 
-    A churn of requests is thrown at a :class:`ServerCore` over a starved
-    pool while a biased coin disconnects (cancels) a random subset of them
-    mid-decode.  Whatever the interleaving of engine-thread retirement and
-    cancel commands, the structural invariants must hold at drain: server
-    and tenant counters reconcile exactly, no pool page leaks past the
-    prefix index, and the survivors' outputs are untouched by the storm.
+    Each cell generates the scenario's trace, stamps oracles by
+    sequential replay on a clean engine, replays it concurrently under
+    the scenario's own engine hints with invariants recomputed every
+    step, then asserts: bit-identical survivor outputs, cancelled streams
+    are oracle prefixes, structural prefix-hit floors met (the pool here
+    is unbounded, so floors are sound), and a full drain back to zero
+    allocated bytes.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_scenario_is_self_checking(
+        self, vocab, tokenizer, retrieval_model, tiny_samples, scenario, seed
+    ):
+        generator = WorkloadGenerator(tiny_samples, block_size=16)
+        trace = generator.generate(scenario, seed)
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+
+        clock = VirtualClock()
+        engine = make_engine(
+            retrieval_model, tokenizer, vocab,
+            max_running=4, clock=clock, **trace.engine_hints,
+        )
+        run = EngineDriver(engine, clock=clock).run(trace)
+        check_oracles(run)
+
+        # Every request ended in a terminal state the trace explains.
+        n_expected_cancels = sum(
+            1 for r in trace if r.cancel_after_tokens is not None
+        )
+        assert run.n_completed + run.n_cancelled == len(trace)
+        assert run.n_cancelled <= n_expected_cancels
+
+        # Drain: only the prefix index may still hold pages.
+        pool = engine.pool
+        pool.assert_consistent()
+        engine.prefix_cache.assert_consistent()
+        assert pool.n_allocated == engine.prefix_cache.n_blocks
+        engine.prefix_cache.clear()
+        assert pool.n_allocated == 0
+        assert pool.allocated_bytes() == 0
+
+
+class TestDisconnectStorm:
+    """A generated cancel/reconnect storm against the serving front door.
+
+    The ``cancel_storm`` trace is replayed through a threaded
+    :class:`ServerCore` over a starved pool: trace-flagged requests are
+    cancelled mid-decode (wall-clock staggered, so engine-thread
+    retirement races the cancel commands), reconnects re-ask the same
+    prompt afterwards.  Whatever the interleaving, at drain the server
+    and tenant counters must reconcile exactly, no pool page may leak
+    past the prefix index, and every survivor must match its replay
+    oracle bit for bit.
     """
 
     @pytest.mark.parametrize("seed", SEEDS)
@@ -400,47 +384,34 @@ class TestDisconnectStorm:
         from repro.serving.server import ServerCore
 
         rng = np.random.default_rng(seed + 300)
-        config = retrieval_model.config
-        pool = BlockPool(
-            config.n_layers,
-            config.n_kv_heads,
-            config.head_dim,
-            block_size=16,
-            capacity_blocks=13,
+        generator = WorkloadGenerator(tiny_samples, block_size=16)
+        trace = generator.generate(
+            "cancel_storm", seed, n_requests=12, max_new_tokens=12
         )
-        engine = InferenceEngine(
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+
+        pool = starved_pool(retrieval_model.config)
+        engine = make_engine(
             retrieval_model,
             tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
+            vocab,
             max_running=3,
             pool=pool,
             max_live_tokens=132,
             preemption="swap" if seed % 2 == 0 else "recompute",
         )
-        reference = InferenceEngine(
-            retrieval_model,
-            tokenizer,
-            CocktailConfig(chunk_size=16),
-            lexicon=vocab.lexicon,
-        )
 
         core = ServerCore(engine).start()
         try:
             handles = []
-            for i in range(12):
-                request = GenerationRequest(
-                    tiny_samples[i % 2].context_words[:56],
-                    tiny_samples[i % 2].query_words,
-                    max_new_tokens=12,
-                    backend=("dense", "fp16", "kivi")[i % 3],
-                )
-                handles.append((core.submit(request), request))
-                # Stagger the storm: some requests land mid-decode of others.
+            # Reconnects must trail the attempt they retry; the trace
+            # orders them after their base request already.
+            for request in trace:
+                handles.append((core.submit(request.to_request()), request))
+                # Stagger the storm: cancels land mid-decode of others.
                 time.sleep(float(rng.random()) * 0.01)
-                if rng.random() < 0.5 and handles:
-                    victim, _ = handles[int(rng.integers(len(handles)))]
-                    core.cancel(victim.request_id)
+                if request.cancel_after_tokens is not None:
+                    core.cancel(handles[-1][0].request_id)
 
             results = [
                 (core.join(handle, timeout=60.0), request)
@@ -457,25 +428,21 @@ class TestDisconnectStorm:
         usage = core.tenants.usage("anonymous")
         assert usage.n_cancelled == n_cancelled
         assert usage.n_active == 0
+        assert usage.reserved_tokens == 0
         assert usage.completion_tokens == sum(
             len(result.token_ids) for result, _ in results
         )
 
-        # Survivors decoded exactly what an unpressured engine would have.
+        # Survivors decoded exactly what the sequential replay said; a
+        # cancelled stream is a prefix of its oracle.
         for result, request in results:
+            oracle = request.oracle
             if result.stopped_by == "cancelled":
+                n = len(result.token_ids)
+                assert result.token_ids == oracle.token_ids[:n]
                 continue
-            want = reference.run(
-                GenerationRequest(
-                    request.context_words,
-                    request.query_words,
-                    max_new_tokens=12,
-                    backend=request.backend,
-                ),
-                pop=True,
-            )
-            assert result.token_ids == want.token_ids
-            assert result.stopped_by == want.stopped_by
+            assert result.token_ids == oracle.token_ids
+            assert result.stopped_by == oracle.stopped_by
 
         # Drain: the storm released every private page and refcount.
         pool.assert_consistent()
