@@ -1,0 +1,112 @@
+"""Shared perf-trajectory plumbing for the ``BENCH_*.json`` benchmarks.
+
+Every throughput benchmark appends one sample per run to a JSON series
+under ``benchmarks/results/`` — the artifact whose history shows how a
+number moved across commits.  This module centralises the three pieces
+they all need (first grown ad hoc in ``bench_decode.py``):
+
+* :func:`machine_class` — a coarse host fingerprint stamped on every
+  sample.  Absolute throughput only compares within one machine class;
+  the guard skips references recorded on different hardware.
+* :func:`load_series` / :func:`append_sample` — the newest-last JSON
+  series with ``_``-prefixed scratch keys stripped from the persisted
+  metrics.
+* :func:`guard_metric` — the ``REPRO_BENCH_GUARD=1`` soft regression
+  guard: against the most recent committed sample with the same label
+  and machine class, warn on a >10% drop and fail the test on a >25%
+  drop.  With no comparable committed sample the guard prints a notice
+  and passes — fresh machines and fresh benchmarks bootstrap quietly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+#: Soft regression thresholds (fraction of the metric lost vs the last
+#: committed same-class sample).
+WARN_DROP = 0.10
+FAIL_DROP = 0.25
+
+
+def machine_class() -> str:
+    """Coarse host fingerprint stamped on every sample."""
+    return f"{platform.machine()}-{os.cpu_count()}cpu"
+
+
+def guard_enabled() -> bool:
+    """Whether the ``REPRO_BENCH_GUARD=1`` regression guard is armed."""
+    return os.environ.get("REPRO_BENCH_GUARD") == "1"
+
+
+def load_series(path: Path) -> list[dict]:
+    """The committed sample series at ``path`` (empty if absent/corrupt)."""
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return []
+    return []
+
+
+def append_sample(path: Path, *, benchmark: str, label: str, metrics: dict) -> dict:
+    """Append one sample (newest last); returns the appended entry.
+
+    Metric keys starting with ``_`` are scratch (profile tables, raw token
+    streams) and are not persisted.
+    """
+    series = load_series(path)
+    entry = {
+        "benchmark": benchmark,
+        "label": label,
+        "machine": machine_class(),
+        "unix_time": int(time.time()),
+        "metrics": {k: v for k, v in metrics.items() if not k.startswith("_")},
+    }
+    series.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(series, indent=2) + "\n")
+    return entry
+
+
+def guard_metric(
+    prior: list[dict],
+    *,
+    label: str,
+    metric: str,
+    fresh: float,
+    what: str | None = None,
+) -> None:
+    """Soft regression guard vs the last committed ``label`` sample.
+
+    ``prior`` must be the series loaded *before* the fresh sample was
+    appended.  Call only when :func:`guard_enabled`.
+    """
+    what = what or metric
+    committed = [
+        sample["metrics"][metric]
+        for sample in prior
+        if sample.get("label") == label
+        and sample.get("machine") == machine_class()
+        and sample.get("metrics", {}).get(metric)
+    ]
+    if not committed:
+        print(
+            f"\nguard: no committed {label!r} sample from this machine class "
+            f"({machine_class()}); skipping comparison"
+        )
+        return
+    reference = committed[-1]
+    drop = (reference - fresh) / reference
+    if drop > WARN_DROP:
+        print(
+            f"\nWARNING: {what} dropped {drop:.0%} vs committed "
+            f"{label!r} sample ({fresh:.0f} vs {reference:.0f})"
+        )
+    assert drop <= FAIL_DROP, (
+        f"{what} regression: {fresh:.0f} is {drop:.0%} below the "
+        f"committed {label!r} sample ({reference:.0f})"
+    )

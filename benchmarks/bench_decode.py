@@ -31,11 +31,14 @@ Environment knobs:
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import time
 
+from benchmarks._guard import (
+    append_sample,
+    guard_enabled,
+    guard_metric,
+    load_series,
+)
 from benchmarks.conftest import RESULTS_DIR
 from repro.core.config import CocktailConfig
 from repro.datasets.generator import SampleGenerator
@@ -52,21 +55,7 @@ METHODS = ("dense", "cocktail", "fp16", "atom")
 MODEL_NAME = "llama2-7b"
 MAX_RUNNING = 4
 
-#: Soft regression guard thresholds (fraction of tokens/s lost vs the last
-#: committed sample of the same label).
-WARN_DROP = 0.10
-FAIL_DROP = 0.25
-
 TRAJECTORY = "BENCH_decode.json"
-
-
-def _machine() -> str:
-    """Coarse host fingerprint stamped on every sample.
-
-    Absolute tokens/s only compare within one machine class; the regression
-    guard uses this to skip references recorded on different hardware.
-    """
-    return f"{platform.machine()}-{os.cpu_count()}cpu"
 
 
 def _run_decode(*, fast_math: bool = False, seed: int = 0) -> dict:
@@ -136,63 +125,9 @@ def _serve_once(*, fast_math: bool = False, seed: int = 0) -> dict:
     return metrics
 
 
-def _load_series() -> list[dict]:
-    path = RESULTS_DIR / TRAJECTORY
-    if path.exists():
-        try:
-            return json.loads(path.read_text())
-        except json.JSONDecodeError:
-            return []
-    return []
-
-
-def _append_trajectory(label: str, metrics: dict) -> None:
-    """One sample per run, newest last; the artifact is the whole series."""
-    path = RESULTS_DIR / TRAJECTORY
-    series = _load_series()
-    series.append(
-        {
-            "benchmark": "decode",
-            "label": label,
-            "machine": _machine(),
-            "unix_time": int(time.time()),
-            "metrics": {k: v for k, v in metrics.items() if not k.startswith("_")},
-        }
-    )
-    path.write_text(json.dumps(series, indent=2) + "\n")
-
-
-def _guard(label: str, fresh_tps: float, prior: list[dict]) -> None:
-    """Soft regression guard vs the last committed sample of ``label``."""
-    committed = [
-        s["metrics"]["tokens_per_second"]
-        for s in prior
-        if s.get("label") == label
-        and s.get("machine") == _machine()
-        and s["metrics"].get("tokens_per_second")
-    ]
-    if not committed:
-        print(
-            f"\nguard: no committed {label!r} sample from this machine class "
-            f"({_machine()}); skipping comparison"
-        )
-        return
-    reference = committed[-1]
-    drop = (reference - fresh_tps) / reference
-    if drop > WARN_DROP:
-        print(
-            f"\nWARNING: decode tokens/s dropped {drop:.0%} vs committed "
-            f"{label!r} sample ({fresh_tps:.0f} vs {reference:.0f})"
-        )
-    assert drop <= FAIL_DROP, (
-        f"decode throughput regression: {fresh_tps:.0f} tok/s is "
-        f"{drop:.0%} below the committed {label!r} sample ({reference:.0f})"
-    )
-
-
 def test_bench_decode(results_dir):
     label = os.environ.get("REPRO_BENCH_DECODE_LABEL", "default")
-    prior = _load_series()
+    prior = load_series(RESULTS_DIR / TRAJECTORY)
     metrics = _run_decode(fast_math=False)
 
     print("\n" + metrics["_profile_table"])
@@ -203,7 +138,9 @@ def test_bench_decode(results_dir):
         f"{metrics['n_decode_tokens']} tokens in {metrics['n_steps']} steps"
     )
 
-    _append_trajectory(label, metrics)
+    append_sample(
+        RESULTS_DIR / TRAJECTORY, benchmark="decode", label=label, metrics=metrics
+    )
 
     assert metrics["n_decode_tokens"] > 0
     assert metrics["tokens_per_second"] > 0
@@ -217,8 +154,14 @@ def test_bench_decode(results_dir):
     for phase in ("schedule", "bookkeeping"):
         assert metrics["phase_seconds"].get(phase, 0.0) > 0.0
 
-    if os.environ.get("REPRO_BENCH_GUARD") == "1":
-        _guard(label, metrics["tokens_per_second"], prior)
+    if guard_enabled():
+        guard_metric(
+            prior,
+            label=label,
+            metric="tokens_per_second",
+            fresh=metrics["tokens_per_second"],
+            what="decode tokens/s",
+        )
 
 
 def test_bench_decode_fast_math(results_dir):
@@ -231,7 +174,9 @@ def test_bench_decode_fast_math(results_dir):
         f"(default {default['tokens_per_second']:.0f}), "
         f"step p50 {fused['step_ms_p50']:.2f} ms"
     )
-    _append_trajectory("fast_math", fused)
+    append_sample(
+        RESULTS_DIR / TRAJECTORY, benchmark="decode", label="fast_math", metrics=fused
+    )
 
     # fast_math trades bit-identity of the logits for stacked GEMMs but must
     # keep the greedy decode itself unchanged on the benchmark workload.

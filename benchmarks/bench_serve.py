@@ -17,16 +17,23 @@ Alongside the human-readable table, the run appends one sample to
 (uploaded by the nightly workflow) whose series shows how serving
 latency moves across commits rather than only within one review.
 
-Scale the load with ``REPRO_BENCH_CLIENTS`` (default 32).
+Scale the load with ``REPRO_BENCH_CLIENTS`` (default 32).  With
+``REPRO_BENCH_GUARD=1`` the fresh tokens/s is checked against the last
+committed sample from the same machine class (warn >10% drop, fail >25%).
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import time
 
+from benchmarks._guard import (
+    append_sample,
+    guard_enabled,
+    guard_metric,
+    load_series,
+)
 from benchmarks.conftest import RESULTS_DIR
 from repro.core.config import CocktailConfig
 from repro.datasets.longbench import build_dataset, build_vocabulary
@@ -39,6 +46,7 @@ from repro.workloads.stats import percentile
 
 N_CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", 32))
 N_TOKENS = 12
+TRAJECTORY = "BENCH_serve.json"
 
 
 async def _drive_load(server: ServingServer, samples) -> dict:
@@ -85,25 +93,6 @@ async def _drive_load(server: ServingServer, samples) -> dict:
     }
 
 
-def _append_trajectory(metrics: dict) -> None:
-    """One sample per run, newest last; the artifact is the whole series."""
-    path = RESULTS_DIR / "BENCH_serve.json"
-    series = []
-    if path.exists():
-        try:
-            series = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            series = []
-    series.append(
-        {
-            "benchmark": "serve",
-            "unix_time": int(time.time()),
-            "metrics": metrics,
-        }
-    )
-    path.write_text(json.dumps(series, indent=2) + "\n")
-
-
 def test_bench_serve(results_dir):
     vocab = build_vocabulary()
     tokenizer = build_tokenizer(vocab)
@@ -132,7 +121,10 @@ def test_bench_serve(results_dir):
     metrics["step_ms_p95"] = profiler.step_percentile(0.95) * 1e3
     metrics["phase_seconds"] = dict(profiler.phase_times)
     metrics["phase_fraction"] = profiler.phase_breakdown()
-    _append_trajectory(metrics)
+    prior = load_series(RESULTS_DIR / TRAJECTORY)
+    append_sample(
+        RESULTS_DIR / TRAJECTORY, benchmark="serve", label="default", metrics=metrics
+    )
 
     print(
         f"\n{metrics['n_clients']} concurrent streaming clients, "
@@ -162,3 +154,12 @@ def test_bench_serve(results_dir):
     # client latency would imply.
     assert metrics["mean_batch_occupancy"] > 1.5
     assert metrics["mean_wall_seconds"] * N_CLIENTS > metrics["elapsed_seconds"]
+
+    if guard_enabled():
+        guard_metric(
+            prior,
+            label="default",
+            metric="tokens_per_second",
+            fresh=metrics["tokens_per_second"],
+            what="serving tokens/s",
+        )

@@ -22,16 +22,23 @@ wall-clock time is never asserted (CI machines are noisy); the virtual
 clock numbers are exact and reproducible from the seed.
 
 Knobs: ``REPRO_WORKLOAD_SEED`` (default 0), ``REPRO_WORKLOAD_SCENARIOS``
-(comma list, default: all).
+(comma list, default: all).  With ``REPRO_BENCH_GUARD=1`` the mean
+engine-driver goodput is checked against the last committed sample from
+the same machine class (warn >10% drop, fail >25%) — goodput is computed
+on the virtual clock, so the guard is deterministic here.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import os
-import time
 
+from benchmarks._guard import (
+    append_sample,
+    guard_enabled,
+    guard_metric,
+    load_series,
+)
 from benchmarks.conftest import RESULTS_DIR
 from repro.core.config import CocktailConfig
 from repro.datasets.longbench import build_dataset, build_vocabulary
@@ -61,31 +68,13 @@ SCENARIO_NAMES = tuple(
 #: HTTP replays are wall-clock bound; a representative subset keeps the
 #: bench fast while still sampling steady-state, sharing and churn.
 HTTP_SCENARIOS = ("poisson", "shared_prefix", "cancel_storm")
+TRAJECTORY = "BENCH_workloads.json"
 
 
 def _fresh_engine(model, tokenizer, vocab, **hints) -> InferenceEngine:
     return InferenceEngine(
         model, tokenizer, CocktailConfig(), lexicon=vocab.lexicon, **hints
     )
-
-
-def _append_trajectory(metrics: dict) -> None:
-    """One sample per run, newest last; the artifact is the whole series."""
-    path = RESULTS_DIR / "BENCH_workloads.json"
-    series = []
-    if path.exists():
-        try:
-            series = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            series = []
-    series.append(
-        {
-            "benchmark": "workloads",
-            "unix_time": int(time.time()),
-            "metrics": metrics,
-        }
-    )
-    path.write_text(json.dumps(series, indent=2) + "\n")
 
 
 def test_bench_workloads(results_dir):
@@ -133,12 +122,22 @@ def test_bench_workloads(results_dir):
 
     http_reports = asyncio.run(http_pass())
 
+    mean_goodput = sum(r.goodput for r in engine_reports.values()) / max(
+        1, len(engine_reports)
+    )
     metrics = {
         "seed": SEED,
+        "mean_engine_goodput": mean_goodput,
         "engine": {n: r.to_payload() for n, r in engine_reports.items()},
         "http": {n: r.to_payload() for n, r in http_reports.items()},
     }
-    _append_trajectory(metrics)
+    prior = load_series(RESULTS_DIR / TRAJECTORY)
+    append_sample(
+        RESULTS_DIR / TRAJECTORY,
+        benchmark="workloads",
+        label="default",
+        metrics=metrics,
+    )
 
     header = f"{'scenario':<14} {'drv':<6} {'n':>3} {'goodput':>8} " \
              f"{'ttft_p50':>9} {'ttft_p95':>9} {'tpot_p50':>9} {'cached':>7}"
@@ -171,3 +170,12 @@ def test_bench_workloads(results_dir):
     # the steady-state scenarios must fully attain their SLOs.
     if "poisson" in engine_reports:
         assert engine_reports["poisson"].goodput == 1.0
+
+    if guard_enabled():
+        guard_metric(
+            prior,
+            label="default",
+            metric="mean_engine_goodput",
+            fresh=mean_goodput,
+            what="mean engine goodput",
+        )

@@ -148,7 +148,33 @@ class PrefixCache:
         self._roots: dict[str, _RadixNode] = {}
         self._n_blocks = 0
         self._clock = 0
+        #: Index-change subscribers (``on_insert(hashes)`` / ``on_evict(hashes)``).
+        self._listeners: list = []
         pool.add_reclaimer(self)
+
+    # -- change notification ---------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Subscribe to index membership changes.
+
+        ``listener.on_insert(hashes)`` fires after pages are published under
+        new hash keys; ``listener.on_evict(hashes)`` fires after entries are
+        dropped (LRU eviction, pool-pressure reclaim or :meth:`clear`).  The
+        chained hashes are globally unique (they cover the fingerprint), so
+        a subscriber — e.g. a router's global prefix index — can mirror
+        membership without knowing the tree structure.
+        """
+        self._listeners.append(listener)
+
+    def _notify_insert(self, hashes: Sequence[str]) -> None:
+        if hashes:
+            for listener in self._listeners:
+                listener.on_insert(list(hashes))
+
+    def _notify_evict(self, hashes: Sequence[str]) -> None:
+        if hashes:
+            for listener in self._listeners:
+                listener.on_evict(list(hashes))
 
     # -- queries -------------------------------------------------------------
 
@@ -218,6 +244,7 @@ class PrefixCache:
             node = self._roots[fingerprint] = _RadixNode(fingerprint, -1, None)
         self._clock += 1
         inserted = 0
+        fresh_keys: list[str] = []
         for key, block_id in zip(hashes, block_ids):
             child = node.children.get(key)
             if child is None:
@@ -226,9 +253,11 @@ class PrefixCache:
                 node.children[key] = child
                 self._n_blocks += 1
                 inserted += 1
+                fresh_keys.append(key)
             child.stamp = self._clock
             node = child
         self.stats.n_inserted_blocks += inserted
+        self._notify_insert(fresh_keys)
         if self.max_blocks is not None and self._n_blocks > self.max_blocks:
             self.evict(self._n_blocks - self.max_blocks)
         return inserted
@@ -319,16 +348,20 @@ class PrefixCache:
             # or context-keyed fingerprints (KIVI/KVQuant) would leak one
             # dead anchor per distinct document ever evicted.
             self._roots.pop(parent.key, None)
+        self._notify_evict([node.key])
 
     def clear(self) -> int:
         """Release every cached page (e.g. before draining the pool)."""
         dropped = 0
+        dropped_keys: list[str] = []
         for node in list(self._iter_nodes()):
             self.pool.release(node.block_id)
+            dropped_keys.append(node.key)
             dropped += 1
         self._roots.clear()
         self._n_blocks = 0
         self.stats.n_evicted_blocks += dropped
+        self._notify_evict(dropped_keys)
         return dropped
 
     def assert_consistent(self) -> None:

@@ -20,12 +20,17 @@ sampling, queue bookkeeping, result assembly — is reported as
 ``bookkeeping``.  The ``step`` span additionally feeds the per-step
 duration series used for the p50/p95 step-time percentiles.
 
-Only one profiler is active at a time (a module-level sink), and spans are
-recorded from whichever thread steps the engine; attach/detach from a
-different thread is fine as long as only one thread steps.  The optional
-``cprofile=True`` capture wraps the attach/detach window in a
-:mod:`cProfile` session — note cProfile only observes the *attaching*
-thread, so it is most useful when the same thread attaches and steps.
+Only one profiler is active at a time (a module-level sink), but spans may
+be recorded from *several* threads concurrently — the sharded pool steps N
+workers at once.  Span nesting is tracked per thread (a thread-local
+stack) and sink accumulation is lock-guarded, so concurrent worker steps
+never corrupt each other's exclusive accounting.  Wrap each worker's step
+in :func:`worker_scope` to additionally attribute its ``step`` spans (and
+phase seconds) to a per-worker series — see
+:attr:`StepProfiler.worker_step_times`.  The optional ``cprofile=True``
+capture wraps the attach/detach window in a :mod:`cProfile` session —
+note cProfile only observes the *attaching* thread, so it is most useful
+when the same thread attaches and steps.
 """
 
 from __future__ import annotations
@@ -33,9 +38,10 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import threading
 from time import perf_counter
 
-__all__ = ["StepProfiler", "span"]
+__all__ = ["StepProfiler", "span", "worker_scope"]
 
 # The phases the engine annotates, in hot-path order.  ``bookkeeping`` is
 # synthesized from the self-time of the ``step`` span; extra phases appear
@@ -73,6 +79,17 @@ _NOOP = _NoopSpan()
 # plus one `is None` check on the un-profiled path.
 _SINK: "StepProfiler | None" = None
 
+# Per-thread span state: the nesting stack (exclusive-time accounting must
+# not cross threads) and the current worker label set by `worker_scope`.
+_TLS = threading.local()
+
+
+def _tls_stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
 
 class _Span:
     """A live span: records exclusive self-time into the sink on exit."""
@@ -85,24 +102,33 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self.child_time = 0.0
-        self.sink._stack.append(self)
+        _tls_stack().append(self)
         self.start = perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         duration = perf_counter() - self.start
         sink = self.sink
-        stack = sink._stack
+        stack = _tls_stack()
         stack.pop()
         if stack:
             stack[-1].child_time += duration
         name = self.name
-        if name == _STEP_SPAN:
-            sink.step_times.append(duration)
-            name = "bookkeeping"
+        worker = getattr(_TLS, "worker", None)
         self_time = duration - self.child_time
-        sink.phase_times[name] = sink.phase_times.get(name, 0.0) + self_time
-        sink.phase_counts[name] = sink.phase_counts.get(name, 0) + 1
+        with sink._lock:
+            if name == _STEP_SPAN:
+                sink.step_times.append(duration)
+                if worker is not None:
+                    sink.worker_step_times.setdefault(worker, []).append(
+                        duration
+                    )
+                name = "bookkeeping"
+            sink.phase_times[name] = sink.phase_times.get(name, 0.0) + self_time
+            sink.phase_counts[name] = sink.phase_counts.get(name, 0) + 1
+            if worker is not None:
+                phases = sink.worker_phase_times.setdefault(worker, {})
+                phases[name] = phases.get(name, 0.0) + self_time
         return False
 
 
@@ -112,6 +138,34 @@ def span(name: str):
     if sink is None:
         return _NOOP
     return _Span(sink, name)
+
+
+class _WorkerScope:
+    """Tag this thread's spans with a worker label for the scope's duration."""
+
+    __slots__ = ("label", "prev")
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __enter__(self) -> "_WorkerScope":
+        self.prev = getattr(_TLS, "worker", None)
+        _TLS.worker = self.label
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _TLS.worker = self.prev
+        return False
+
+
+def worker_scope(label: str):
+    """Attribute spans recorded in this scope (this thread) to ``label``.
+
+    Cheap enough to wrap every worker step whether or not a profiler is
+    attached — it only sets one thread-local attribute.  Scopes nest; the
+    innermost label wins, and the previous label is restored on exit.
+    """
+    return _WorkerScope(label)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -141,7 +195,11 @@ class StepProfiler:
         self.phase_times: dict[str, float] = {}
         self.phase_counts: dict[str, int] = {}
         self.step_times: list[float] = []
-        self._stack: list[_Span] = []
+        #: Step durations per `worker_scope` label (sharded pool workers).
+        self.worker_step_times: dict[str, list[float]] = {}
+        #: Exclusive per-phase seconds per `worker_scope` label.
+        self.worker_phase_times: dict[str, dict[str, float]] = {}
+        self._lock = threading.Lock()
         self._cprofile = cProfile.Profile() if cprofile else None
         self._prev_sink: StepProfiler | None = None
         self._attached = False
@@ -215,7 +273,7 @@ class StepProfiler:
 
     def summary(self) -> dict:
         """JSON-friendly snapshot: steps, percentiles, per-phase seconds."""
-        return {
+        payload = {
             "n_steps": self.n_steps,
             "total_seconds": self.total_seconds,
             "step_ms_p50": self.step_percentile(0.50) * 1e3,
@@ -223,6 +281,19 @@ class StepProfiler:
             "phase_seconds": dict(self.phase_times),
             "phase_fraction": self.phase_breakdown(),
         }
+        if self.worker_step_times:
+            payload["workers"] = {
+                label: {
+                    "n_steps": len(times),
+                    "total_seconds": sum(times),
+                    "step_ms_p50": _percentile(times, 0.50) * 1e3,
+                    "phase_seconds": dict(
+                        self.worker_phase_times.get(label, {})
+                    ),
+                }
+                for label, times in sorted(self.worker_step_times.items())
+            }
+        return payload
 
     def profile_table(self) -> str:
         """Human-readable per-phase report, hottest phase first."""

@@ -18,10 +18,17 @@
   :class:`DraftProposer` registry (n-gram prompt lookup by default) and
   :class:`SpeculativeConfig`, driving multi-token verify forwards through
   the batched decode path with greedy (output-identical) verification.
+* :mod:`repro.serving.sharded` — data-parallel execution:
+  :class:`ShardedEngine` fronts N private engine workers behind the
+  single-core protocol, with a :class:`ShardRouter` placing each request
+  by longest prefix match (router-side :class:`GlobalPrefixIndex` over
+  the chained block hashes) and load tiebreaks, plus worker-failure
+  draining and re-dispatch.
 * :mod:`repro.serving.server` — the asyncio multi-tenant HTTP/SSE front
-  door over one stepping :class:`~repro.serving.engine.EngineCore`:
-  streaming with bounded backpressure, API-key tenants with quotas, and
-  cancel-on-disconnect (imported on demand; nothing here depends on it).
+  door over one stepping :class:`~repro.serving.engine.EngineCore` (or a
+  whole sharded pool via ``engine_factory``): streaming with bounded
+  backpressure, API-key tenants with quotas, and cancel-on-disconnect
+  (imported on demand; nothing here depends on it).
 """
 
 from repro.serving.backends import (
@@ -56,6 +63,12 @@ from repro.serving.request import (
     result_to_wire,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, SequenceState
+from repro.serving.sharded import (
+    GlobalPrefixIndex,
+    ShardRouter,
+    ShardWorker,
+    ShardedEngine,
+)
 
 __all__ = [
     "InferenceEngine",
@@ -81,6 +94,10 @@ __all__ = [
     "prompt_token_ids",
     "ContinuousBatchingScheduler",
     "SequenceState",
+    "ShardedEngine",
+    "ShardRouter",
+    "ShardWorker",
+    "GlobalPrefixIndex",
     "SpeculativeConfig",
     "DraftProposer",
     "NgramProposer",

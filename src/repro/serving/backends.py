@@ -407,6 +407,24 @@ class DecodeBackend(abc.ABC):
         del request
         return 0
 
+    def prefix_route_keys(
+        self, request: "GenerationRequest"
+    ) -> tuple[str | None, list[str]]:
+        """The ``(fingerprint, chained block hashes)`` a router would index
+        this request under — computed *without* touching any engine state.
+
+        ``(None, [])`` means the request's pages cannot be keyed ahead of
+        prefill (no sharing fingerprint, or the planner needs the prefilled
+        cache); a prefix-affinity router then falls back to load-only
+        placement.  When keys are returned they match what
+        :meth:`prepare` will publish into the owning engine's
+        :class:`~repro.kvpool.prefix.PrefixCache` bit for bit, so a global
+        hash index over many workers can resolve longest-prefix placement
+        before the request is dispatched anywhere.
+        """
+        del request
+        return None, []
+
 
 class QuantizedDenseBackend(DecodeBackend):
     """Fake-quantize the context cache, then decode on the standard path.
@@ -597,6 +615,25 @@ class QuantizedDenseBackend(DecodeBackend):
         if fingerprint is None:
             return 0
         return prefix_cache.peek(fingerprint, hashes)
+
+    def prefix_route_keys(
+        self, request: "GenerationRequest"
+    ) -> tuple[str | None, list[str]]:
+        """Cache-free routing keys: the same plan-then-hash walk as
+        :meth:`probe_cached_blocks`, but returning the keys themselves."""
+        if self.engine.pool is None:
+            return None, []
+        prompt = prompt_token_ids(
+            self.tokenizer, request.context_words, request.query_words
+        )
+        context_ids = prompt[: len(request.context_words)]
+        try:
+            plan = self._plan_request(request, None)
+        except Exception:
+            # Planners that need the prefilled cache (KVQuant's outlier
+            # ranking) cannot be keyed ahead of prefill.
+            return None, []
+        return self._reuse_keys(plan, context_ids)
 
     def _prepare_with_prefix_cache(
         self, request: "GenerationRequest", prefill: PrefillJob | None = None

@@ -492,6 +492,18 @@ class EngineCore:
         """Number of admitted requests still prefilling chunk by chunk."""
         return len(self.scheduler.prefilling)
 
+    def assert_consistent(self) -> None:
+        """Walk the pool + prefix-cache structural invariants (tests/replay).
+
+        One call on any engine-shaped object — a bare core or a sharded
+        facade fanning out to every worker — so harnesses need not know
+        the topology behind the protocol.
+        """
+        if self.pool is not None:
+            self.pool.assert_consistent()
+        if self.prefix_cache is not None:
+            self.prefix_cache.assert_consistent()
+
     def is_finished(self, request_id: str) -> bool:
         """Whether ``request_id`` has completed."""
         return request_id in self._results

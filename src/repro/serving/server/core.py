@@ -177,7 +177,21 @@ class ServerCore:
     engine:
         The :class:`~repro.serving.engine.EngineCore` to host.  The core
         owns it exclusively from :meth:`start` on — nothing else may call
-        into the engine while the server runs.
+        into the engine while the server runs.  Mutually exclusive with
+        ``engine_factory``.
+    engine_factory:
+        Pool mode: a zero-argument engine builder.  With ``n_workers=1``
+        the factory's single engine is hosted directly; with more the
+        core builds and owns a
+        :class:`~repro.serving.sharded.ShardedEngine` over ``n_workers``
+        data-parallel workers — tenants, backpressure, streaming and
+        cancel-on-disconnect all work unchanged over the pool, and
+        ``/v1/stats`` grows a per-worker ``workers`` section.
+    n_workers:
+        Worker count for pool mode (ignored with a direct ``engine``).
+    threaded_workers:
+        Step pool workers on their own threads inside each round (see
+        :class:`~repro.serving.sharded.ShardedEngine`).
     tenants:
         Tenant registry (default: a permissive anonymous-only registry).
     max_stream_backlog:
@@ -192,13 +206,33 @@ class ServerCore:
 
     def __init__(
         self,
-        engine: EngineCore,
+        engine: EngineCore | None = None,
         *,
+        engine_factory=None,
+        n_workers: int = 1,
+        threaded_workers: bool = False,
         tenants: TenantRegistry | None = None,
         max_stream_backlog: int = 256,
         slow_reader_policy: str = "pause",
         max_active: int | None = None,
     ):
+        if (engine is None) == (engine_factory is None):
+            raise ValueError(
+                "pass exactly one of engine= or engine_factory="
+            )
+        if engine_factory is not None:
+            if n_workers < 1:
+                raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+            if n_workers == 1:
+                engine = engine_factory()
+            else:
+                from repro.serving.sharded import ShardedEngine
+
+                engine = ShardedEngine(
+                    engine_factory,
+                    n_workers=n_workers,
+                    threaded=threaded_workers,
+                )
         if slow_reader_policy not in SLOW_READER_POLICIES:
             raise ValueError(
                 f"slow_reader_policy must be one of {SLOW_READER_POLICIES}, "
@@ -257,6 +291,10 @@ class ServerCore:
             self._cond.notify_all()
         thread.join()
         self._thread = None
+        # A pooled engine owns worker threads of its own; park them too.
+        engine_close = getattr(self.engine, "close", None)
+        if callable(engine_close):
+            engine_close()
 
     # -- the request path (any thread) -----------------------------------------
 
@@ -394,6 +432,9 @@ class ServerCore:
                 "hit_rate": stats.hit_rate,
                 "saved_bytes": stats.saved_bytes,
             }
+        worker_stats = getattr(engine, "worker_stats_payload", None)
+        if callable(worker_stats):
+            payload["workers"] = worker_stats()
         return payload
 
     # -- the engine thread -----------------------------------------------------

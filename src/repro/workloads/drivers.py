@@ -225,9 +225,9 @@ class EngineDriver:
                     del cancel_at[rid]
 
             if self.check_invariants:
-                engine.pool.assert_consistent()
-                if engine.prefix_cache is not None:
-                    engine.prefix_cache.assert_consistent()
+                # One call covers a bare core and a sharded pool alike
+                # (the facade fans out to every live worker's pool).
+                engine.assert_consistent()
 
             # A dependency-gated arrival may only become eligible after its
             # predecessor's think time: if nothing is runnable, fast-forward

@@ -516,3 +516,84 @@ class TestStatsGoldenShape:
         assert final["server"]["n_finished"] == run.n_completed
         assert final["server"]["n_active"] == 0
         assert final["pool"]["n_allocated"] == final["prefix_cache"]["n_blocks"]
+
+
+class TestWorkersStatsSection:
+    """The sharded-pool ``workers`` section of ``/v1/stats``.
+
+    Same contract style as :class:`TestStatsGoldenShape`: exact key sets
+    (dashboards break on silent renames), monotone per-worker counters
+    across live snapshots, and a final reconciliation — every submission
+    routed to exactly one worker, every worker's pool drained down to its
+    published prefix pages.
+    """
+
+    WORKER_KEYS = {
+        "worker_id", "alive", "queue_depth", "in_flight",
+        "outstanding_tokens", "n_routed", "n_prefix_routed", "n_steps",
+        "n_decode_tokens", "pool_blocks", "prefix_blocks",
+        "prefix_hit_rate",
+    }
+    MONOTONIC = ["n_routed", "n_prefix_routed", "n_steps", "n_decode_tokens"]
+
+    def test_workers_shape_and_monotonic_counters(
+        self, generator, vocab, tokenizer, retrieval_model
+    ):
+        from repro.serving.server.client import request_json
+
+        trace = generator.generate("shared_prefix", 3, fleet_size=5)
+        attach_oracles(trace, make_engine(retrieval_model, tokenizer, vocab))
+        core = ServerCore(
+            engine_factory=lambda: make_engine(
+                retrieval_model, tokenizer, vocab, max_running=4
+            ),
+            n_workers=2,
+        )
+
+        async def scenario():
+            snapshots = []
+            async with ServingServer(core) as server:
+                async def snap():
+                    response = await request_json(
+                        server.host, server.port, "GET", "/v1/stats"
+                    )
+                    assert response.status == 200
+                    snapshots.append(response.payload)
+
+                await snap()
+                driver = HttpDriver(server.host, server.port, time_scale=0.005)
+                task = asyncio.create_task(driver.run(trace))
+                while not task.done():
+                    await snap()
+                    await asyncio.sleep(0.02)
+                run = await task
+                await snap()
+            return run, snapshots
+
+        run, snapshots = asyncio.run(scenario())
+        check_oracles(run)
+        assert len(snapshots) >= 3
+        for payload in snapshots:
+            workers = payload["workers"]
+            assert [w["worker_id"] for w in workers] == [0, 1]
+            for row in workers:
+                assert set(row) == self.WORKER_KEYS
+                assert row["alive"] is True
+            # The facade has no shared pool: the sections describing one
+            # are absent rather than lying with zeros.
+            assert "pool" not in payload
+            assert "prefix_cache" not in payload
+        for worker_id in (0, 1):
+            for key in self.MONOTONIC:
+                series = [s["workers"][worker_id][key] for s in snapshots]
+                assert series == sorted(series), (
+                    f"workers[{worker_id}].{key} went backwards"
+                )
+        final = snapshots[-1]
+        assert sum(w["n_routed"] for w in final["workers"]) == len(trace)
+        assert final["server"]["n_active"] == 0
+        for row in final["workers"]:
+            assert row["queue_depth"] == 0
+            assert row["in_flight"] == 0
+            assert row["outstanding_tokens"] == 0
+            assert row["pool_blocks"] == row["prefix_blocks"]
