@@ -43,13 +43,15 @@ from benchmarks.conftest import RESULTS_DIR
 from repro.core.config import CocktailConfig
 from repro.datasets.longbench import build_dataset, build_vocabulary
 from repro.evaluation.setup import build_model, build_tokenizer
-from repro.serving import InferenceEngine
+from repro.serving import InferenceEngine, SpeculativeConfig
+from repro.serving.adaptive import PrefillBudgetController, SloPolicy
 from repro.serving.server import ServerCore, ServingServer
 from repro.workloads import (
     SCENARIOS,
     EngineDriver,
     HttpDriver,
     SloSpec,
+    StepCostModel,
     VirtualClock,
     WorkloadGenerator,
     attach_oracles,
@@ -178,4 +180,139 @@ def test_bench_workloads(results_dir):
             metric="mean_engine_goodput",
             fresh=mean_goodput,
             what="mean engine goodput",
+        )
+
+
+# -- adaptive A/B: ROADMAP item 3's measured bar ------------------------------
+
+#: Heavier-than-default shapes so the static arm actually congests: more
+#: long documents arriving faster (``mixed``) and a deeper prefill volley
+#: (``long_prefill``).  Both arms replay the *same* trace.
+AB_OVERRIDES = {
+    "mixed": dict(n_short=10, n_long=5, rate=2.5, long_context=(160, 220)),
+    "long_prefill": dict(
+        n_requests=8, context_range=(200, 260), max_new_tokens=6
+    ),
+}
+
+#: Cost-aware virtual clock shared by both arms: a step is charged for the
+#: prompt tokens it prefilled and the forward rows it computed, so a
+#: controller that shapes that work moves the measured latencies.  Token
+#: outputs never depend on the clock — oracles stay bit-identical.
+AB_COST_MODEL = StepCostModel(
+    base=1.0, prefill_token_cost=0.08, forward_row_cost=0.02
+)
+
+#: The adaptive arm's prefill controller aims each step at this cost.
+AB_TPOT_TARGET = 6.0
+
+
+def _ab_engine(model, tokenizer, vocab, clock, hints, *, adaptive):
+    kwargs = dict(
+        max_running=4,
+        clock=clock,
+        speculative=SpeculativeConfig(k=4, adaptive=adaptive),
+    )
+    kwargs.update(hints)
+    if adaptive:
+        kwargs["prefill_controller"] = PrefillBudgetController(
+            target=AB_TPOT_TARGET,
+            min_budget=8,
+            max_budget=96,
+            start_budget=hints.get("max_prefill_tokens_per_step"),
+        )
+        kwargs["slo_policy"] = SloPolicy()
+    return _fresh_engine(model, tokenizer, vocab, **kwargs)
+
+
+def test_bench_workloads_adaptive_ab(results_dir):
+    """A/B the adaptive control loops against the static knobs.
+
+    Both arms replay identical traces under the same cost-aware virtual
+    clock with speculation at ``k=4``; the *on* arm additionally runs the
+    adaptive draft windows, the TPOT-targeted prefill controller and the
+    SLO-aware scheduler.  The measured bar (ROADMAP item 3): per-scenario
+    goodput must not regress on either scenario and must strictly improve
+    on at least one, with every oracle still bit-identical.
+    """
+    vocab = build_vocabulary()
+    tokenizer = build_tokenizer(vocab)
+    model = build_model("llama2-7b", tokenizer)
+    samples = build_dataset("qasper", 4, vocab=vocab, seed=7)
+    generator = WorkloadGenerator(samples, block_size=16)
+
+    scenarios = {}
+    for name, overrides in AB_OVERRIDES.items():
+        trace = generator.generate(name, SEED, **overrides)
+        attach_oracles(trace, _fresh_engine(model, tokenizer, vocab))
+        scenarios[name] = trace
+
+    results = {}
+    for name, trace in scenarios.items():
+        arms = {}
+        for arm, adaptive in (("off", False), ("on", True)):
+            clock = VirtualClock()
+            engine = _ab_engine(
+                model, tokenizer, vocab, clock, trace.engine_hints,
+                adaptive=adaptive,
+            )
+            run = EngineDriver(
+                engine, clock=clock, cost_model=AB_COST_MODEL
+            ).run(trace)
+            check_oracles(run)
+            report = build_report(run)
+            arms[arm] = {
+                "goodput": report.goodput,
+                "n_steps": run.n_steps,
+                "makespan": run.makespan,
+                "classes": {
+                    cls: rep.goodput for cls, rep in report.classes.items()
+                },
+            }
+        results[name] = arms
+
+    header = f"{'scenario':<14} {'arm':<4} {'goodput':>8} {'steps':>6} {'makespan':>9}"
+    print("\n" + header)
+    print("-" * len(header))
+    for name, arms in results.items():
+        for arm, row in arms.items():
+            print(
+                f"{name:<14} {arm:<4} {row['goodput']:>8.3f} "
+                f"{row['n_steps']:>6} {row['makespan']:>9.1f}"
+            )
+
+    mean_on = sum(a["on"]["goodput"] for a in results.values()) / len(results)
+    mean_off = sum(a["off"]["goodput"] for a in results.values()) / len(results)
+    metrics = {
+        "seed": SEED,
+        "mean_on_goodput": mean_on,
+        "mean_off_goodput": mean_off,
+        "scenarios": results,
+    }
+    prior = load_series(RESULTS_DIR / TRAJECTORY)
+    append_sample(
+        RESULTS_DIR / TRAJECTORY,
+        benchmark="workloads",
+        label="adaptive_ab",
+        metrics=metrics,
+    )
+
+    # The acceptance bar: adaptive never loses, and strictly wins somewhere.
+    for name, arms in results.items():
+        assert arms["on"]["goodput"] >= arms["off"]["goodput"], (
+            f"{name}: adaptive-on goodput {arms['on']['goodput']:.3f} fell "
+            f"below adaptive-off {arms['off']['goodput']:.3f}"
+        )
+    assert any(
+        arms["on"]["goodput"] > arms["off"]["goodput"]
+        for arms in results.values()
+    ), "adaptive control moved no scenario's goodput"
+
+    if guard_enabled():
+        guard_metric(
+            prior,
+            label="adaptive_ab",
+            metric="mean_on_goodput",
+            fresh=mean_on,
+            what="mean adaptive-on goodput",
         )

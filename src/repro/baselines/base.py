@@ -146,7 +146,12 @@ class KVCacheQuantizer(abc.ABC):
 
     @abc.abstractmethod
     def apply(self, cache: ModelKVCache, plan: KVQuantizationPlan) -> None:
-        """Quantize the context region of ``cache`` in place (fake-quant view)."""
+        """Quantize the context region of ``cache`` in place (fake-quant view).
+
+        ``cache`` may be the dense reference :class:`ModelKVCache` *or* a
+        pool-backed :class:`~repro.kvpool.cache.PagedKVCache` — the serving
+        engine passes either; both expose the same layer/context surface.
+        """
 
     def encode_context(self, cache, plan: KVQuantizationPlan, *, start: int = 0):
         """Packed-storage encodings of the context region, or ``None``.

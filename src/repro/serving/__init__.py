@@ -18,6 +18,11 @@
   :class:`DraftProposer` registry (n-gram prompt lookup by default) and
   :class:`SpeculativeConfig`, driving multi-token verify forwards through
   the batched decode path with greedy (output-identical) verification.
+* :mod:`repro.serving.adaptive` — feedback control loops over the static
+  knobs: :class:`DraftWindowController` (per-sequence speculation depth
+  from observed acceptance), :class:`PrefillBudgetController`
+  (TPOT-targeted chunked-prefill budget) and :class:`SloPolicy`
+  (priority-class admission and deadline-aware preemption).  All opt-in.
 * :mod:`repro.serving.sharded` — data-parallel execution:
   :class:`ShardedEngine` fronts N private engine workers behind the
   single-core protocol, with a :class:`ShardRouter` placing each request
@@ -31,6 +36,11 @@
   (imported on demand; nothing here depends on it).
 """
 
+from repro.serving.adaptive import (
+    DraftWindowController,
+    PrefillBudgetController,
+    SloPolicy,
+)
 from repro.serving.backends import (
     BlockwiseBackend,
     DecodeBackend,
@@ -53,6 +63,7 @@ from repro.serving.spec import (
     register_proposer,
 )
 from repro.serving.request import (
+    SLO_CLASSES,
     GenerationRequest,
     GenerationResult,
     RequestStats,
@@ -104,4 +115,8 @@ __all__ = [
     "register_proposer",
     "proposer_names",
     "create_proposer",
+    "DraftWindowController",
+    "PrefillBudgetController",
+    "SloPolicy",
+    "SLO_CLASSES",
 ]

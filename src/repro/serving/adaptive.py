@@ -1,0 +1,293 @@
+"""Feedback-driven control loops over the engine's static serving knobs.
+
+Every performance lever the engine grew through PRs 1–9 started life as a
+static knob: the speculation depth ``k``, the chunked-prefill budget
+``max_prefill_tokens_per_step``, LIFO preemption, FIFO admission.  This
+module closes the loops (ROADMAP item 3) with three small, deterministic
+controllers — no threads, no wall-clock reads of their own; each one is
+ticked by the engine at well-defined points and observes only signals the
+engine already measures:
+
+:class:`DraftWindowController`
+    Per-sequence speculation depth from the observed acceptance rate (the
+    ``RequestStats.drafted_tokens`` / ``accepted_tokens`` counters).  An
+    EWMA of per-verify acceptance grows the window additively toward the
+    configured ceiling ``k`` under high acceptance and shrinks it
+    multiplicatively under low acceptance, degrading all the way to plain
+    decoding (window 0) with a periodic one-token probe so a sequence
+    whose text becomes predictable again can recover.  Because greedy
+    verification is *exact*, the window size can never change which
+    tokens are produced — only how many model forwards they cost.
+
+:class:`PrefillBudgetController`
+    The chunked-prefill budget tuned to a per-step latency (TPOT) target.
+    It observes start-to-start deltas of the engine's own clock — the
+    measured cost of the previous step — and applies damped AIMD: shrink
+    multiplicatively the moment a step overshoots the target (a long
+    prompt chunk blew the round), grow only after ``patience``
+    consecutive under-target steps, and hold inside a deadband so the
+    budget cannot oscillate between two values on a flat workload.
+
+:class:`SloPolicy`
+    Priority classes and deadline budgets for SLO-aware scheduling.  The
+    scheduler uses it to (a) admit the best *(class rank, FIFO order)*
+    waiting request instead of the strict queue head, and (b) pick
+    preemption victims by *(lowest priority, most deadline slack)*
+    instead of LIFO — while keeping the PR 2 guards: the oldest running
+    sequence is never preempted and a nearly-finished one is never rolled
+    back.
+
+All three are opt-in: an engine built without them behaves bit-for-bit
+like before.  The measured effect on per-scenario goodput is recorded by
+the ``adaptive_ab`` pass of ``benchmarks/bench_workloads.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The standard traffic classes (mirrors ``repro.workloads.slo.SloSpec``).
+#: Policies accept unknown class names tolerantly — an unknown class ranks
+#: below every known one and carries no deadline.
+DEFAULT_CLASS_RANKS = {"interactive": 0, "batch": 1, "background": 2}
+
+#: Default per-class deadline budgets, in engine-clock units (virtual steps
+#: under the workload harness).  A request's preemption deadline is its
+#: submit time plus this budget; matching the harness's TTFT deadlines
+#: keeps "slack" meaningful against the scored SLOs.
+DEFAULT_DEADLINE_BUDGETS = {"interactive": 25.0, "batch": 120.0, "background": 600.0}
+
+
+@dataclass
+class DraftWindowController:
+    """Adapts one sequence's speculation window to its acceptance rate.
+
+    The engine calls :meth:`next_window` once per decode round (phase 0 of
+    the speculative step) to learn how many draft tokens to propose, and
+    :meth:`observe` once per verify forward with the drafted/accepted
+    counts.  The window is a *request* — the engine still clamps it by
+    decode budget, cache capacity and pool headroom, so the controller can
+    only ever shrink speculation toward plain decoding, never grow it past
+    the configured ceiling.
+
+    Parameters
+    ----------
+    k:
+        Window ceiling — the static ``SpeculativeConfig.k`` becomes the
+        most this controller will ever request.
+    alpha:
+        EWMA smoothing weight of the newest per-verify acceptance sample
+        (``ewma = alpha * sample + (1 - alpha) * ewma``).
+    grow_threshold:
+        Smoothed acceptance at or above which the window grows by one.
+    shrink_threshold:
+        Smoothed acceptance at or below which the window halves; repeated
+        misses collapse it to ``min_window``.
+    min_window:
+        Floor of the shrink path.  ``0`` (default) means full degradation
+        to plain decoding.
+    probe_interval:
+        While degraded to window 0, one single-token probe draft is issued
+        every this many rounds so the controller can detect that
+        acceptance has recovered (without probes the window could never
+        leave 0).
+    """
+
+    k: int
+    alpha: float = 0.5
+    grow_threshold: float = 0.8
+    shrink_threshold: float = 0.4
+    min_window: int = 0
+    probe_interval: int = 8
+    #: Smoothed acceptance rate (``None`` until the first verify lands).
+    ewma: float | None = field(default=None, init=False)
+    #: Current window request (starts at the ceiling: optimistic, like the
+    #: static engine, so the first verify is a full-width sample).
+    window: int = field(init=False)
+    _plain_rounds: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not (0.0 <= self.shrink_threshold < self.grow_threshold <= 1.0):
+            raise ValueError(
+                "need 0 <= shrink_threshold < grow_threshold <= 1, got "
+                f"{self.shrink_threshold} / {self.grow_threshold}"
+            )
+        if self.min_window < 0 or self.min_window > self.k:
+            raise ValueError(
+                f"min_window must be in [0, k], got {self.min_window}"
+            )
+        if self.probe_interval < 1:
+            raise ValueError(
+                f"probe_interval must be >= 1, got {self.probe_interval}"
+            )
+        self.window = self.k
+
+    def next_window(self) -> int:
+        """Draft tokens to request this round (0 = plain decode)."""
+        if self.window >= 1:
+            self._plain_rounds = 0
+            return self.window
+        self._plain_rounds += 1
+        if self._plain_rounds >= self.probe_interval:
+            self._plain_rounds = 0
+            return 1
+        return 0
+
+    def observe(self, drafted: int, accepted: int) -> None:
+        """Fold one verify forward's outcome into the window."""
+        if drafted < 1:
+            return
+        sample = accepted / drafted
+        self.ewma = (
+            sample
+            if self.ewma is None
+            else self.alpha * sample + (1.0 - self.alpha) * self.ewma
+        )
+        if self.ewma >= self.grow_threshold:
+            self.window = min(self.k, self.window + 1)
+        elif self.ewma <= self.shrink_threshold:
+            self.window = max(self.min_window, self.window // 2)
+
+
+@dataclass
+class PrefillBudgetController:
+    """Tunes the chunked-prefill budget toward a per-step latency target.
+
+    The engine calls :meth:`observe` with its clock reading at the *start*
+    of every step; the delta between consecutive starts is the measured
+    cost of the previous step (real latency on a wall clock, modeled cost
+    under the workload harness's virtual clock).  Damped AIMD then moves
+    the budget:
+
+    * a step **over** ``target * (1 + tolerance)`` halves the budget
+      immediately (``shrink_factor``) — prefill work is the only
+      engine-controlled per-step cost, so an overshoot means last round's
+      prompt chunks were too large;
+    * ``patience`` consecutive steps **under** ``target * (1 - tolerance)``
+      grow it multiplicatively (``grow_factor``) — cautious, so one idle
+      step cannot open the floodgates;
+    * anything inside the deadband holds, which is what damps oscillation:
+      a budget that lands the step cost near the target stays put instead
+      of bouncing between shrink and grow forever.
+
+    Deltas larger than ``spike_clamp * target`` are clamped before use —
+    an idle gap between two bursts (or a host scheduling hiccup on a wall
+    clock) is not evidence that prefill chunks were too big.
+    """
+
+    #: Desired per-step latency, in engine clock units.
+    target: float
+    #: Budget bounds; the controller never requests outside them.
+    min_budget: int = 8
+    max_budget: int = 1024
+    #: Initial budget (defaults to ``max_budget`` — optimistic start).
+    start_budget: int | None = None
+    shrink_factor: float = 0.5
+    grow_factor: float = 1.5
+    #: Consecutive under-target steps required before growing.
+    patience: int = 2
+    #: Deadband half-width as a fraction of ``target``.
+    tolerance: float = 0.25
+    #: Observation clamp, in multiples of ``target``.
+    spike_clamp: float = 20.0
+    budget: int = field(init=False)
+    #: Clamped cost of the most recent completed step (for introspection).
+    last_step_cost: float | None = field(default=None, init=False)
+    _last_start: float | None = field(default=None, init=False)
+    _under_streak: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError(f"target must be > 0, got {self.target}")
+        if self.min_budget < 1:
+            raise ValueError(f"min_budget must be >= 1, got {self.min_budget}")
+        if self.max_budget < self.min_budget:
+            raise ValueError(
+                f"max_budget ({self.max_budget}) must be >= min_budget "
+                f"({self.min_budget})"
+            )
+        if not (0.0 < self.shrink_factor < 1.0):
+            raise ValueError(
+                f"shrink_factor must be in (0, 1), got {self.shrink_factor}"
+            )
+        if self.grow_factor <= 1.0:
+            raise ValueError(f"grow_factor must be > 1, got {self.grow_factor}")
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if not (0.0 <= self.tolerance < 1.0):
+            raise ValueError(f"tolerance must be in [0, 1), got {self.tolerance}")
+        if self.spike_clamp <= 1.0:
+            raise ValueError(f"spike_clamp must be > 1, got {self.spike_clamp}")
+        start = self.max_budget if self.start_budget is None else self.start_budget
+        if not (self.min_budget <= start <= self.max_budget):
+            raise ValueError(
+                f"start_budget must be in [{self.min_budget}, "
+                f"{self.max_budget}], got {start}"
+            )
+        self.budget = int(start)
+
+    def observe(self, now: float) -> int:
+        """Fold one step-start clock reading in; returns the new budget."""
+        last = self._last_start
+        self._last_start = now
+        if last is None:
+            return self.budget
+        dt = now - last
+        if dt <= 0:
+            return self.budget
+        dt = min(dt, self.spike_clamp * self.target)
+        self.last_step_cost = dt
+        if dt > self.target * (1.0 + self.tolerance):
+            self._under_streak = 0
+            self.budget = max(
+                self.min_budget, int(self.budget * self.shrink_factor)
+            )
+        elif dt < self.target * (1.0 - self.tolerance):
+            self._under_streak += 1
+            if self._under_streak >= self.patience:
+                self._under_streak = 0
+                grown = max(self.budget + 1, int(self.budget * self.grow_factor))
+                self.budget = min(self.max_budget, grown)
+        else:
+            self._under_streak = 0
+        return self.budget
+
+
+@dataclass
+class SloPolicy:
+    """Priority ranks and deadline budgets for SLO-aware scheduling.
+
+    ``ranks`` orders the traffic classes (lower rank = higher priority);
+    ``deadline_budgets`` turns a submit time into a per-request deadline
+    (``submitted_at + budget``) the preemption path measures slack
+    against.  Unknown classes are tolerated: they rank below every
+    configured class and carry no deadline (infinite slack — first in
+    line for preemption among their rank).
+    """
+
+    ranks: dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_CLASS_RANKS)
+    )
+    deadline_budgets: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEADLINE_BUDGETS)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise ValueError("SloPolicy needs at least one class rank")
+        self._unknown_rank = max(self.ranks.values()) + 1
+
+    def rank(self, slo_class: str) -> int:
+        """Priority rank of ``slo_class`` (lower = scheduled first)."""
+        return self.ranks.get(slo_class, self._unknown_rank)
+
+    def deadline(self, slo_class: str, submitted_at: float) -> float | None:
+        """Absolute deadline of a request, or ``None`` (no deadline)."""
+        budget = self.deadline_budgets.get(slo_class)
+        if budget is None:
+            return None
+        return submitted_at + budget

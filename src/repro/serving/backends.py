@@ -278,7 +278,7 @@ class DecodeBackend(abc.ABC):
 
     def _prefill(
         self, request: "GenerationRequest", prefill: PrefillJob | None = None
-    ) -> tuple[ModelKVCache, np.ndarray, list[int]]:
+    ) -> tuple[ModelKVCache | PagedKVCache, np.ndarray, list[int]]:
         """Full-precision prefill of the request prompt.
 
         The cache comes from the engine: a pool-backed
@@ -743,7 +743,7 @@ class _BlockwiseDecodeState:
     def __init__(
         self,
         model: Transformer,
-        cache: ModelKVCache,
+        cache: ModelKVCache | PagedKVCache,
         chunked_caches: list[ChunkedLayerCache],
     ):
         self.model = model

@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.config import CocktailConfig
 from repro.core.quantizer import CocktailQuantizer
@@ -67,6 +67,9 @@ from repro.serving.scheduler import (
     terminal_event,
 )
 from repro.serving.spec import DraftProposer, SpeculativeConfig, create_proposer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serving.adaptive import PrefillBudgetController, SloPolicy
 
 
 #: Prefix-index retention cap applied when the pool is *unbounded*: without
@@ -100,6 +103,10 @@ class ExecutionStats:
     n_decode_tokens: int = 0
     #: Chunked-prefill passes executed under a prefill budget.
     n_prefill_chunks: int = 0
+    #: Prompt tokens pushed through prefill forwards (chunked passes plus
+    #: one-shot admissions; swap-ins restore pages without prefilling and
+    #: are not counted).
+    n_prefill_tokens: int = 0
     #: Draft tokens attached to verify forwards (speculative decoding).
     n_drafted_tokens: int = 0
     #: Drafted tokens the greedy verification accepted — each one a
@@ -246,6 +253,20 @@ class EngineCore:
         of the *next* :meth:`step` after the one that finished it, so a
         long-lived externally-stepped engine cannot accumulate results
         nobody reads.
+    prefill_controller:
+        Optional :class:`~repro.serving.adaptive.PrefillBudgetController`.
+        When set, each :meth:`step` begins by folding the engine clock into
+        the controller and adopting its budget as
+        ``max_prefill_tokens_per_step`` — chunked prefill becomes
+        TPOT-targeted instead of a constant.  ``None`` (default) keeps the
+        static budget.
+    slo_policy:
+        Optional :class:`~repro.serving.adaptive.SloPolicy`.  When set,
+        :meth:`submit` stamps each request's class deadline, admission
+        prefers higher-priority classes and preemption evicts by
+        *(lowest class, most deadline slack)* — see
+        :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`.
+        ``None`` (default) keeps FIFO/LIFO scheduling.
     clock:
         Monotonic time source for the per-request stats (test hook).
     """
@@ -275,6 +296,8 @@ class EngineCore:
         speculative: SpeculativeConfig | int | None = None,
         fast_math: bool = False,
         retain_results: bool = True,
+        prefill_controller: "PrefillBudgetController | None" = None,
+        slo_policy: "SloPolicy | None" = None,
         clock: Callable[[], float] = time.perf_counter,
     ):
         if kv_cache not in ("paged", "dense"):
@@ -329,17 +352,25 @@ class EngineCore:
             if prefix_caching
             else None
         )
+        self.slo_policy = slo_policy
         self.scheduler = ContinuousBatchingScheduler(
             max_running=max_running,
             max_live_tokens=max_live_tokens,
             pool=self.pool,
             max_live_blocks=max_live_blocks,
+            slo_policy=slo_policy,
         )
         if max_prefill_tokens_per_step is not None and max_prefill_tokens_per_step < 1:
             raise ValueError(
                 "max_prefill_tokens_per_step must be >= 1, got "
                 f"{max_prefill_tokens_per_step}"
             )
+        self.prefill_controller = prefill_controller
+        if prefill_controller is not None:
+            # The controller owns the budget from the first step on; start
+            # from its current budget so admission before the first observe
+            # already obeys it.
+            max_prefill_tokens_per_step = prefill_controller.budget
         self.max_prefill_tokens_per_step = max_prefill_tokens_per_step
         self.batched_decode = (
             self.pool is not None if batched_decode is None else bool(batched_decode)
@@ -455,6 +486,11 @@ class EngineCore:
         backend = self.get_backend(request.backend)  # fail fast on unknown backends
         state = SequenceState(request=request)
         state.stats.submitted_at = self._clock()
+        state.stats.slo_class = request.slo_class
+        if self.slo_policy is not None:
+            state.deadline = self.slo_policy.deadline(
+                request.slo_class, state.stats.submitted_at
+            )
         if self.prefix_cache is not None:
             # Admission hint: pages the index would serve — the scheduler
             # charges only the blocks this request will actually allocate.
@@ -560,6 +596,13 @@ class EngineCore:
         round-robin order.
         """
         with profiling_span("step"):
+            if self.prefill_controller is not None:
+                # Start-to-start clock deltas are the measured cost of the
+                # previous step; the controller's AIMD answer becomes this
+                # step's chunked-prefill budget.
+                self.max_prefill_tokens_per_step = self.prefill_controller.observe(
+                    self._clock()
+                )
             if not self.retain_results:
                 for request_id in self._fresh_results:
                     self._results.pop(request_id, None)
@@ -670,6 +713,7 @@ class EngineCore:
             consumed = job.advance(int(min(budget, job.n_remaining)))
             state.stats.n_prefill_chunks += 1
             self.exec_stats.n_prefill_chunks += 1
+            self.exec_stats.n_prefill_tokens += consumed
             if job.done:
                 backend = self.get_backend(state.request.backend)
                 prepared = backend.prepare(state.request, prefill=job)
@@ -712,9 +756,15 @@ class EngineCore:
             state.stats.scheduled_at = self._clock()
 
     def _rebalance(self) -> None:
-        """Preempt newest-eligible sequences until budgets are respected."""
+        """Preempt best-eligible sequences until budgets are respected.
+
+        With an :class:`~repro.serving.adaptive.SloPolicy` configured the
+        scheduler picks victims by *(lowest class, most deadline slack)*;
+        the clock reading supplies ``now`` for the slack computation.
+        """
+        now = self._clock() if self.slo_policy is not None else None
         while self.scheduler.over_budget():
-            victim = self.scheduler.pop_preemption_victim()
+            victim = self.scheduler.pop_preemption_victim(now)
             if victim is None:
                 break
             self._preempt(victim)
@@ -746,6 +796,7 @@ class EngineCore:
                 raise
             return False
         state.stats.n_prefill_chunks += 1
+        self.exec_stats.n_prefill_tokens += state.request.n_prompt_tokens
         self._attach_prepared(state, prepared)
         self.scheduler.mark_running(state)
         return True
@@ -898,6 +949,14 @@ class EngineCore:
         # After this step's token, at most remaining_budget - 1 more tokens
         # can ever be emitted; drafting past that is pure waste.
         window = min(spec.k, session.remaining_budget - 1)
+        if spec.adaptive:
+            # Per-sequence feedback: the controller's window (grown/shrunk
+            # from this sequence's observed acceptance) caps the static k.
+            # Window 0 is a plain decode round, exactly as if speculation
+            # were off for this sequence this step.
+            if state.draft_window is None:
+                state.draft_window = spec.build_window_controller()
+            window = min(window, state.draft_window.next_window())
         # The verify run appends 1 + window rows; keep it inside capacity so
         # mid-verify acceptance can never outrun the sequential path's
         # cache_full check (which this round's begin_step still performs).
@@ -938,6 +997,8 @@ class EngineCore:
         stats.accepted_tokens += len(accepted)
         self.exec_stats.n_drafted_tokens += n_drafts
         self.exec_stats.n_accepted_tokens += len(accepted)
+        if state.draft_window is not None:
+            state.draft_window.observe(n_drafts, len(accepted))
         for token in accepted:
             events.append(self._emit_token(state, token))
         n_rejected = n_drafts - len(accepted)
@@ -1130,6 +1191,47 @@ class EngineCore:
         if state is None:
             raise KeyError(f"unknown request_id {request_id!r}")
         return state.stats
+
+    def adaptive_stats(self) -> dict:
+        """Current readings of the configured adaptive controllers.
+
+        Empty when no controller is configured (so hosts can omit the
+        section entirely); otherwise one sub-dict per active loop:
+        ``prefill`` (current budget and last clamped step cost),
+        ``draft_windows`` (per-sequence window/EWMA of live adaptive
+        speculation controllers), and ``slo`` (per-class counts of the
+        waiting and running sets).
+        """
+        payload: dict = {}
+        if self.prefill_controller is not None:
+            payload["prefill"] = {
+                "budget": self.prefill_controller.budget,
+                "target": self.prefill_controller.target,
+                "last_step_cost": self.prefill_controller.last_step_cost,
+            }
+        if self.speculative is not None and self.speculative.adaptive:
+            windows = {
+                state.request_id: {
+                    "window": state.draft_window.window,
+                    "ewma": state.draft_window.ewma,
+                }
+                for state in self._states.values()
+                if state.draft_window is not None
+            }
+            payload["draft_windows"] = windows
+        if self.slo_policy is not None:
+            by_class: dict[str, dict[str, int]] = {}
+            for bucket, states in (
+                ("waiting", self.scheduler.waiting),
+                ("running", self.scheduler.running),
+            ):
+                for state in states:
+                    counts = by_class.setdefault(
+                        state.request.slo_class, {"waiting": 0, "running": 0}
+                    )
+                    counts[bucket] += 1
+            payload["slo"] = by_class
+        return payload
 
 
 class InferenceEngine(EngineCore):

@@ -21,6 +21,15 @@ from repro.baselines.base import KVQuantizationPlan
 from repro.model.decode import check_max_new_tokens
 from repro.model.sampling import greedy_sample, top_k_sample
 
+#: The standard SLO traffic classes the wire format accepts (matching
+#: :class:`repro.workloads.slo.SloSpec` and the default
+#: :class:`repro.serving.adaptive.SloPolicy`).  Directly-constructed
+#: :class:`GenerationRequest` objects may carry any non-empty class name —
+#: custom policies can define their own — but the HTTP boundary validates
+#: against this set so typos become 400s, not silently-deprioritized
+#: traffic.
+SLO_CLASSES = ("interactive", "batch", "background")
+
 
 @dataclass(frozen=True)
 class SamplingParams:
@@ -77,6 +86,11 @@ class GenerationRequest:
         Stop on the tokenizer's EOS/SEP tokens (matches the pipeline).
     extra_stop_ids:
         Additional stop-token IDs for this request.
+    slo_class:
+        Traffic class for SLO-aware scheduling (``"interactive"`` by
+        default; see :data:`SLO_CLASSES`).  Ignored unless the engine was
+        built with an :class:`~repro.serving.adaptive.SloPolicy` — then it
+        drives class-aware admission order and deadline-aware preemption.
     request_id:
         Optional caller-chosen ID; the engine assigns ``"req-<n>"`` when
         left ``None``.
@@ -89,6 +103,7 @@ class GenerationRequest:
     sampling: SamplingParams = field(default_factory=SamplingParams)
     stop_on_special: bool = True
     extra_stop_ids: tuple[int, ...] = ()
+    slo_class: str = "interactive"
     request_id: str | None = None
 
     def __post_init__(self) -> None:
@@ -98,6 +113,10 @@ class GenerationRequest:
         self.max_new_tokens = check_max_new_tokens(self.max_new_tokens)
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError(f"backend must be a non-empty string, got {self.backend!r}")
+        if not isinstance(self.slo_class, str) or not self.slo_class:
+            raise ValueError(
+                f"slo_class must be a non-empty string, got {self.slo_class!r}"
+            )
 
     @property
     def n_prompt_tokens(self) -> int:
@@ -155,6 +174,9 @@ class RequestStats:
     #: Tenant this request was accounted to, when it arrived through the
     #: multi-tenant front door (``None`` for directly-submitted requests).
     tenant: str | None = None
+    #: SLO traffic class the request was scheduled under (stamped by the
+    #: engine at submit from ``GenerationRequest.slo_class``).
+    slo_class: str | None = None
     #: Preemptions served by swapping pages to the host store (a subset of
     #: ``n_preemptions``; the remainder were recompute preemptions).
     n_swap_outs: int = 0
@@ -267,6 +289,7 @@ WIRE_FIELDS = frozenset(
         "seed",
         "stop_on_special",
         "stop_token_ids",
+        "slo_class",
         "stream",
     }
 )
@@ -323,6 +346,7 @@ def request_from_wire(
     known_backends: Sequence[str] | None = None,
     max_prompt_tokens: int | None = None,
     max_new_tokens_limit: int | None = None,
+    default_slo_class: str = "interactive",
     request_id: str | None = None,
 ) -> GenerationRequest:
     """Build a validated :class:`GenerationRequest` from a JSON payload.
@@ -330,12 +354,17 @@ def request_from_wire(
     Every boundary check a front door needs happens here: unknown fields
     are rejected by name, every field is type- and range-checked
     (``max_tokens >= 1``, ``temperature > 0``, ``top_k >= 1``), the backend
-    must resolve against ``known_backends`` when given, and the prompt must
-    fit ``max_prompt_tokens``.  Failures raise :class:`WireFormatError`
+    must resolve against ``known_backends`` when given, the prompt must
+    fit ``max_prompt_tokens``, and an explicit ``slo_class`` must name one
+    of :data:`SLO_CLASSES`.  Failures raise :class:`WireFormatError`
     with ``param`` set — never a bare engine ``ValueError`` mid-decode.
 
     ``model`` is accepted as an alias of ``backend`` (OpenAI clients send
     one); passing both with different values is an error.
+    ``default_slo_class`` is used when the payload omits ``slo_class`` —
+    the front door passes the tenant's configured default here, so a
+    tenant can be pinned to (say) ``"batch"`` without every client
+    spelling it.
     """
     if not isinstance(payload, dict):
         raise WireFormatError(
@@ -399,6 +428,15 @@ def request_from_wire(
     top_k = _wire_int(payload, "top_k", 1, minimum=1)
     seed = _wire_int(payload, "seed", 0, minimum=0)
     stop_on_special = _wire_bool(payload, "stop_on_special", True)
+    slo_class = default_slo_class
+    if "slo_class" in payload:
+        slo_class = payload["slo_class"]
+        if slo_class not in SLO_CLASSES:
+            names = ", ".join(SLO_CLASSES)
+            raise WireFormatError(
+                f"'slo_class' must be one of: {names}; got {slo_class!r}",
+                param="slo_class",
+            )
     stop_ids = payload.get("stop_token_ids", ())
     if not isinstance(stop_ids, (list, tuple)) or any(
         isinstance(item, bool) or not isinstance(item, int) or item < 0
@@ -420,6 +458,7 @@ def request_from_wire(
         ),
         stop_on_special=stop_on_special,
         extra_stop_ids=tuple(stop_ids),
+        slo_class=slo_class,
         request_id=request_id,
     )
 
@@ -457,5 +496,6 @@ def result_to_wire(result: GenerationResult) -> dict:
             "n_pauses": stats.n_pauses,
             "cached_tokens": stats.cached_tokens,
             "tenant": stats.tenant,
+            "slo_class": stats.slo_class,
         },
     }

@@ -32,6 +32,7 @@ from repro.serving.request import GenerationRequest, RequestStats, TokenEvent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.kvpool.pool import BlockPool
+    from repro.serving.adaptive import DraftWindowController, SloPolicy
 
 
 @dataclass
@@ -60,6 +61,14 @@ class SequenceState:
     #: (admission hint set at submit time; the scheduler charges only the
     #: *new* pages a request will actually allocate).
     cached_blocks_hint: int = 0
+    #: Absolute deadline stamped at submit time by the engine's
+    #: :class:`~repro.serving.adaptive.SloPolicy` (``None`` without one, or
+    #: for classes with no deadline budget).  Preemption measures slack
+    #: against it.
+    deadline: float | None = None
+    #: Per-sequence adaptive draft-window controller, created lazily by the
+    #: engine on the first speculative round when the config asks for it.
+    draft_window: "DraftWindowController | None" = None
 
     @property
     def request_id(self) -> str:
@@ -102,6 +111,11 @@ class SequenceState:
 class ContinuousBatchingScheduler:
     """FIFO admission, round-robin decode order, LIFO preemption with guards.
 
+    An optional :class:`~repro.serving.adaptive.SloPolicy` upgrades
+    admission to class-priority order and preemption to deadline-slack
+    order (see ``slo_policy`` below); without one the behaviour is exactly
+    the original FIFO/LIFO policy.
+
     Parameters
     ----------
     max_running:
@@ -121,6 +135,13 @@ class ContinuousBatchingScheduler:
     max_live_blocks:
         Optional cap on simultaneously allocated pool pages, tighter than
         the pool's own capacity (useful to reserve headroom for prefills).
+    slo_policy:
+        Optional :class:`~repro.serving.adaptive.SloPolicy`.  When set,
+        admission picks the best *(class rank, FIFO order)* waiting
+        request instead of the strict queue head, and preemption picks the
+        *(lowest priority, most deadline slack)* victim instead of the
+        newest — both still subject to the same fit checks and guards.
+        ``None`` (default) keeps the original FIFO/LIFO behaviour exactly.
     """
 
     def __init__(
@@ -130,6 +151,7 @@ class ContinuousBatchingScheduler:
         max_live_tokens: int | None = None,
         pool: "BlockPool | None" = None,
         max_live_blocks: int | None = None,
+        slo_policy: "SloPolicy | None" = None,
     ):
         if max_running < 1:
             raise ValueError(f"max_running must be >= 1, got {max_running}")
@@ -143,6 +165,7 @@ class ContinuousBatchingScheduler:
         self.max_live_tokens = max_live_tokens
         self.pool = pool
         self.max_live_blocks = max_live_blocks
+        self.slo_policy = slo_policy
         self.waiting: deque[SequenceState] = deque()
         self.running: list[SequenceState] = []  # admission order
         #: Admitted requests whose prompts are prefilling chunk by chunk
@@ -201,8 +224,26 @@ class ContinuousBatchingScheduler:
         """Allocated pages minus reclaimable idle prefix-index pages."""
         return self.pool.n_allocated - self.pool.reclaimable_blocks()
 
+    def _admission_candidate(self) -> SequenceState:
+        """The waiting request admission considers next.
+
+        FIFO head without an SLO policy; with one, the highest-priority
+        class wins and FIFO order breaks ties within a class.  The fit
+        checks below apply to this one candidate only — a high-priority
+        request that does not fit is *not* bypassed in favour of a smaller
+        low-priority one, so a large interactive prompt cannot be starved
+        by a stream of small background requests slipping past it.
+        """
+        policy = self.slo_policy
+        if policy is None:
+            return self.waiting[0]
+        return min(
+            enumerate(self.waiting),
+            key=lambda item: (policy.rank(item[1].request.slo_class), item[0]),
+        )[1]
+
     def next_to_admit(self) -> SequenceState | None:
-        """Head of the waiting queue, if it fits right now (FIFO only).
+        """The waiting request to admit, if it fits right now.
 
         A sequence whose prompt alone exceeds the token budget is still
         admitted when nothing is running, otherwise it could never start.
@@ -210,7 +251,7 @@ class ContinuousBatchingScheduler:
         n_admitted = len(self.running) + len(self.prefilling)
         if not self.waiting or n_admitted >= self.max_running:
             return None
-        head = self.waiting[0]
+        head = self._admission_candidate()
         if not n_admitted:
             return head
         if self.max_live_tokens is not None:
@@ -230,18 +271,31 @@ class ContinuousBatchingScheduler:
         """Return a preempted request to the front of the queue."""
         self.waiting.appendleft(state)
 
+    def _dequeue_admitted(self, state: SequenceState) -> None:
+        """Remove ``state`` from the waiting queue on admission.
+
+        Without an SLO policy only the FIFO head may ever be admitted (the
+        original invariant, kept as a hard assertion); with one, admission
+        may pick any waiting request, so membership removal replaces the
+        head check.
+        """
+        if self.slo_policy is None:
+            if not self.waiting or self.waiting[0] is not state:
+                raise ValueError(
+                    "only the head of the waiting queue can be admitted"
+                )
+            self.waiting.popleft()
+        else:
+            self.waiting.remove(state)
+
     def mark_running(self, state: SequenceState) -> None:
-        """Move the queue head to the running set (must be the head)."""
-        if not self.waiting or self.waiting[0] is not state:
-            raise ValueError("only the head of the waiting queue can be admitted")
-        self.waiting.popleft()
+        """Move a waiting request to the running set."""
+        self._dequeue_admitted(state)
         self.running.append(state)
 
     def mark_prefilling(self, state: SequenceState) -> None:
-        """Move the queue head into the chunked-prefill set (must be the head)."""
-        if not self.waiting or self.waiting[0] is not state:
-            raise ValueError("only the head of the waiting queue can be admitted")
-        self.waiting.popleft()
+        """Move a waiting request into the chunked-prefill set."""
+        self._dequeue_admitted(state)
         self.prefilling.append(state)
 
     def promote_prefilled(self, state: SequenceState) -> None:
@@ -311,22 +365,49 @@ class ContinuousBatchingScheduler:
                 return True
         return False
 
-    def pop_preemption_victim(self) -> SequenceState | None:
-        """Remove and return the newest *eligible* running sequence.
+    def pop_preemption_victim(self, now: float | None = None) -> SequenceState | None:
+        """Remove and return the best *eligible* running victim.
 
-        Victim selection is LIFO (the newest sequence wastes the least
-        completed work) with two guards: the oldest sequence is never
+        Two guards always apply: the oldest running sequence is never
         preempted (the survivor guarantees forward progress), and a
         sequence within one token of finishing is skipped — rolling it back
         recovers at most one token of budget and creates a preempt-thrash
         loop under tight budgets.  Returns ``None`` when no sequence is
         eligible.
+
+        Without an SLO policy, selection is LIFO (the newest sequence
+        wastes the least completed work).  With one — and a clock reading
+        ``now`` — the victim is the eligible sequence with the *lowest
+        priority class*, breaking ties by the most deadline slack
+        (``deadline - now``; no deadline counts as infinite slack), then by
+        newest admission.  A background request with hours of slack is
+        rolled back before an interactive one about to miss its deadline.
         """
-        for index in range(len(self.running) - 1, 0, -1):
-            if self.running[index].nearly_finished:
+        policy = self.slo_policy
+        if policy is None or now is None:
+            for index in range(len(self.running) - 1, 0, -1):
+                if self.running[index].nearly_finished:
+                    continue
+                return self.running.pop(index)
+            return None
+        best_index = None
+        best_key = None
+        for index in range(1, len(self.running)):
+            state = self.running[index]
+            if state.nearly_finished:
                 continue
-            return self.running.pop(index)
-        return None
+            slack = (
+                float("inf")
+                if state.deadline is None
+                else state.deadline - now
+            )
+            key = (policy.rank(state.request.slo_class), slack, index)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_index = index
+        if best_index is None:
+            return None
+        return self.running.pop(best_index)
 
 
 def terminal_event(state: SequenceState, stopped_by: str) -> TokenEvent:

@@ -414,6 +414,13 @@ class ServerCore:
             },
             "tenants": self.tenants.snapshot(),
         }
+        # Adaptive-controller readings appear only when controllers are
+        # configured, so the default payload shape is unchanged.
+        adaptive_stats = getattr(engine, "adaptive_stats", None)
+        if callable(adaptive_stats):
+            adaptive = adaptive_stats()
+            if adaptive:
+                payload["engine"]["adaptive"] = adaptive
         if engine.pool is not None:
             pool = engine.pool
             payload["pool"] = {

@@ -283,6 +283,7 @@ class ServingServer:
                 known_backends=self.core.engine.backend_names(),
                 max_prompt_tokens=self.max_prompt_tokens,
                 max_new_tokens_limit=self.max_new_tokens_limit,
+                default_slo_class=tenant.slo_class or "interactive",
             )
         except WireFormatError as exc:
             raise BadRequestError(str(exc), param=exc.param) from None

@@ -28,6 +28,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.serving.request import SLO_CLASSES
 from repro.serving.server.errors import (
     AuthenticationError,
     ConcurrencyLimitError,
@@ -53,6 +54,11 @@ class TenantSpec:
     #: Lifetime budget on total (prompt + completion) tokens
     #: (``None`` = unlimited).
     token_budget: int | None = None
+    #: Default SLO class stamped on this tenant's requests when a payload
+    #: does not name one explicitly (``None`` = the server default,
+    #: ``"interactive"``).  Must be one of
+    #: :data:`repro.serving.request.SLO_CLASSES`.
+    slo_class: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -61,6 +67,11 @@ class TenantSpec:
             value = getattr(self, attr)
             if value is not None and value < 1:
                 raise ValueError(f"{attr} must be >= 1, got {value}")
+        if self.slo_class is not None and self.slo_class not in SLO_CLASSES:
+            names = ", ".join(SLO_CLASSES)
+            raise ValueError(
+                f"slo_class must be one of: {names}; got {self.slo_class!r}"
+            )
 
 
 @dataclass

@@ -179,7 +179,11 @@ class ShardWorker:
         self.n_prefix_routed = 0
         #: Sum of unfinished requests' decode-token grants (load signal).
         self.outstanding_tokens = 0
-        self._grants: dict[str, int] = {}
+        self._grants: dict[str, tuple[int, str]] = {}
+        #: Outstanding grants broken down by SLO class (router tiebreak
+        #: signal: spreading a class across workers bounds the blast radius
+        #: one class's burst has on any single worker's queue).
+        self.outstanding_by_class: dict[str, int] = {}
         # -- threaded-mode plumbing (idle unless the facade starts it) --------
         self._thread: threading.Thread | None = None
         self._wake = threading.Event()
@@ -195,20 +199,35 @@ class ShardWorker:
         if prefix_routed:
             self.n_prefix_routed += 1
         tokens = max(1, int(request.max_new_tokens))
-        self._grants[request.request_id] = tokens
+        self._add_grant(request.request_id, tokens, request.slo_class)
+
+    def _add_grant(self, request_id: str, tokens: int, slo_class: str) -> None:
+        self._grants[request_id] = (tokens, slo_class)
         self.outstanding_tokens += tokens
+        self.outstanding_by_class[slo_class] = (
+            self.outstanding_by_class.get(slo_class, 0) + tokens
+        )
+
+    def _drop_grant(self, request_id: str) -> tuple[int, str]:
+        tokens, slo_class = self._grants.pop(request_id, (0, ""))
+        self.outstanding_tokens = max(0, self.outstanding_tokens - tokens)
+        if slo_class in self.outstanding_by_class:
+            remaining = self.outstanding_by_class[slo_class] - tokens
+            if remaining > 0:
+                self.outstanding_by_class[slo_class] = remaining
+            else:
+                del self.outstanding_by_class[slo_class]
+        return tokens, slo_class
 
     def settle(self, request_id: str) -> None:
         """Return a finished/cancelled request's grant to the load signal."""
-        tokens = self._grants.pop(request_id, 0)
-        self.outstanding_tokens = max(0, self.outstanding_tokens - tokens)
+        self._drop_grant(request_id)
 
     def transfer_grant(self, request_id: str, target: "ShardWorker") -> None:
         """Move a re-dispatched request's grant to its new owner."""
-        tokens = self._grants.pop(request_id, 0)
-        self.outstanding_tokens = max(0, self.outstanding_tokens - tokens)
-        target._grants[request_id] = tokens
-        target.outstanding_tokens += tokens
+        tokens, slo_class = self._drop_grant(request_id)
+        if tokens:
+            target._add_grant(request_id, tokens, slo_class)
 
     @property
     def in_flight(self) -> int:
@@ -330,8 +349,13 @@ class ShardRouter:
 
         Longest-match wins among alive workers; ties (including the
         no-match case, where every alive worker ties at zero) break by
-        least outstanding decode tokens, then fewest allocated pool pages,
-        then worker id — deterministic for a given trace.
+        least outstanding decode tokens *of the request's own SLO class*,
+        then least outstanding tokens overall, then fewest allocated pool
+        pages, then worker id — deterministic for a given trace.  For
+        single-class traffic the class key equals the total, so placements
+        are identical to the pre-SLO router; under mixed classes it
+        spreads each class across workers instead of letting one class's
+        burst pile onto whichever worker happened to be lightest overall.
         """
         alive = self._alive()
         _, hashes = self.route_keys(request)
@@ -347,9 +371,11 @@ class ShardRouter:
             if live:
                 match_len = max(live.values())
                 candidates = [w for w, n in live.items() if n == match_len]
+        slo_class = request.slo_class
         chosen = min(
             candidates,
             key=lambda worker: (
+                worker.outstanding_by_class.get(slo_class, 0),
                 worker.outstanding_tokens,
                 worker.engine.pool.n_allocated if worker.engine.pool else 0,
                 worker.worker_id,
@@ -489,6 +515,7 @@ class ShardedEngine:
             merged.n_sequential_forwards += stats.n_sequential_forwards
             merged.n_decode_tokens += stats.n_decode_tokens
             merged.n_prefill_chunks += stats.n_prefill_chunks
+            merged.n_prefill_tokens += stats.n_prefill_tokens
             merged.n_drafted_tokens += stats.n_drafted_tokens
             merged.n_accepted_tokens += stats.n_accepted_tokens
             for name, seconds in stats.phase_times.items():
@@ -500,6 +527,22 @@ class ShardedEngine:
     def worker_stats_payload(self) -> list[dict]:
         """Per-worker stats rows, the ``workers`` section of ``/v1/stats``."""
         return [worker.stats_payload() for worker in self.workers]
+
+    def adaptive_stats(self) -> dict:
+        """Per-worker adaptive-controller readings, keyed ``worker<id>``.
+
+        Controllers are per-worker (each private engine runs its own
+        loops); the facade merely collects their readings.  Empty when no
+        worker has any controller configured, mirroring
+        :meth:`EngineCore.adaptive_stats`.
+        """
+        payload: dict = {}
+        for worker in self.workers:
+            stats_fn = getattr(worker.engine, "adaptive_stats", None)
+            stats = stats_fn() if callable(stats_fn) else {}
+            if stats:
+                payload[f"worker{worker.worker_id}"] = stats
+        return payload
 
     def owner_of(self, request_id: str) -> int:
         """The id of the worker serving ``request_id`` (for tests/examples)."""

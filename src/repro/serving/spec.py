@@ -57,6 +57,19 @@ class SpeculativeConfig:
         reports :attr:`~repro.baselines.base.KVCacheQuantizer.
         fitted_context_state` — is rejected with a ``ValueError`` at engine
         construction instead of failing deep inside a decode round.
+    adaptive:
+        ``True`` turns ``k`` into a *ceiling*: each sequence gets a
+        :class:`~repro.serving.adaptive.DraftWindowController` that
+        grows/shrinks its draft window from the observed acceptance rate
+        (EWMA), degrading to plain decoding under sustained rejection and
+        re-probing periodically.  Outputs are unchanged either way —
+        greedy verification is exact — only the forward cost moves.
+        ``False`` (default) keeps the static window.
+    ewma_alpha, grow_threshold, shrink_threshold, min_window,
+    probe_interval:
+        Knobs of the per-sequence controller (see
+        :class:`~repro.serving.adaptive.DraftWindowController`); ignored
+        unless ``adaptive`` is set.
     """
 
     proposer: str = "ngram"
@@ -64,6 +77,12 @@ class SpeculativeConfig:
     max_ngram: int = 3
     min_ngram: int = 1
     backends: tuple[str, ...] | None = None
+    adaptive: bool = False
+    ewma_alpha: float = 0.5
+    grow_threshold: float = 0.8
+    shrink_threshold: float = 0.4
+    min_window: int = 0
+    probe_interval: int = 8
 
     def __post_init__(self) -> None:
         if not isinstance(self.proposer, str) or not self.proposer:
@@ -85,6 +104,24 @@ class SpeculativeConfig:
                 "backends",
                 tuple(str(name).lower() for name in self.backends),
             )
+        if self.adaptive:
+            # Building a controller validates every adaptive knob in one
+            # place (DraftWindowController.__post_init__); the instance is
+            # discarded — engines build one per sequence.
+            self.build_window_controller()
+
+    def build_window_controller(self):
+        """A fresh per-sequence draft-window controller for this config."""
+        from repro.serving.adaptive import DraftWindowController
+
+        return DraftWindowController(
+            k=self.k,
+            alpha=self.ewma_alpha,
+            grow_threshold=self.grow_threshold,
+            shrink_threshold=self.shrink_threshold,
+            min_window=self.min_window,
+            probe_interval=self.probe_interval,
+        )
 
 
 class DraftProposer(abc.ABC):

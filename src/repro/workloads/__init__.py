@@ -15,6 +15,7 @@ from repro.workloads.drivers import (
     EngineDriver,
     HttpDriver,
     RequestOutcome,
+    StepCostModel,
     TraceRun,
     VirtualClock,
     check_oracles,
@@ -49,6 +50,7 @@ __all__ = [
     "SloClass",
     "SloReport",
     "SloSpec",
+    "StepCostModel",
     "TraceRun",
     "VirtualClock",
     "WorkloadGenerator",

@@ -61,6 +61,52 @@ class VirtualClock:
         self.now += dt
 
 
+@dataclass(frozen=True)
+class StepCostModel:
+    """Deterministic per-step cost for the virtual clock.
+
+    By default :class:`EngineDriver` charges every engine step the same
+    ``step_time`` — fine for schedule-shape experiments, but blind to the
+    fact that a step that prefilled 200 prompt tokens costs more wall time
+    than one that decoded 3 rows.  A cost model instead charges::
+
+        dt = base + prefill_token_cost * (prompt tokens prefilled)
+                  + forward_row_cost   * (forward rows computed)
+
+    where *forward rows computed* counts the rows model forwards processed
+    this step: each plain decode emits one row, and a speculative verify
+    of ``d`` drafts processes ``1 + d`` rows but emits ``1 + accepted``,
+    so the row count works out to ``decode_tokens + drafted - accepted``
+    from the engine's own counters.  The clock feeds latency *stamps*
+    only — token outputs never depend on it — so runs stay bit-identical
+    to fixed-``step_time`` replays while TTFT/TPOT/goodput become
+    cost-aware.  This is what lets the adaptive A/B measure a controller:
+    a smaller prefill chunk genuinely makes that step cheaper for
+    everyone in it.
+    """
+
+    #: Fixed per-step overhead (scheduling, bookkeeping), in clock units.
+    base: float = 1.0
+    #: Marginal cost per prompt token pushed through prefill this step.
+    prefill_token_cost: float = 0.0
+    #: Marginal cost per computed forward row this step.
+    forward_row_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"base must be > 0, got {self.base}")
+        if self.prefill_token_cost < 0 or self.forward_row_cost < 0:
+            raise ValueError("per-token costs must be >= 0")
+
+    def cost(self, *, prefill_tokens: int, forward_rows: int) -> float:
+        """Clock units one step costs, from its measured work deltas."""
+        return (
+            self.base
+            + self.prefill_token_cost * max(0, prefill_tokens)
+            + self.forward_row_cost * max(0, forward_rows)
+        )
+
+
 @dataclass
 class RequestOutcome:
     """What actually happened to one trace request in one run."""
@@ -134,14 +180,26 @@ class EngineDriver:
         *,
         clock: VirtualClock,
         step_time: float = 1.0,
+        cost_model: StepCostModel | None = None,
         check_invariants: bool = True,
         max_steps: int = 100_000,
     ):
         self.engine = engine
         self.clock = clock
         self.step_time = step_time
+        #: Optional :class:`StepCostModel`: each step advances the clock by
+        #: its modeled cost (from the engine's own work counters) instead
+        #: of the flat ``step_time``.  Idle fast-forwards keep
+        #: ``step_time`` — an empty wait is not a forward pass.
+        self.cost_model = cost_model
         self.check_invariants = check_invariants
         self.max_steps = max_steps
+
+    def _work_snapshot(self) -> tuple[int, int]:
+        """(prefill tokens, computed forward rows) counters so far."""
+        stats = self.engine.exec_stats
+        rows = stats.n_decode_tokens + stats.n_drafted_tokens - stats.n_accepted_tokens
+        return stats.n_prefill_tokens, rows
 
     def run(self, trace: WorkloadTrace) -> TraceRun:
         engine = self.engine
@@ -201,9 +259,22 @@ class EngineDriver:
                     cancel_at[rid] = request.cancel_after_tokens
             pending = still_pending
 
+            work_before = (
+                self._work_snapshot() if self.cost_model is not None else None
+            )
             events = engine.step() if engine.has_runnable else []
             n_steps += 1
-            self.clock.advance(self.step_time)
+            if work_before is None:
+                self.clock.advance(self.step_time)
+            else:
+                prefill_before, rows_before = work_before
+                prefill_after, rows_after = self._work_snapshot()
+                self.clock.advance(
+                    self.cost_model.cost(
+                        prefill_tokens=prefill_after - prefill_before,
+                        forward_rows=rows_after - rows_before,
+                    )
+                )
 
             finished_rids = []
             for event in events:

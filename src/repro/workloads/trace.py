@@ -146,6 +146,7 @@ class WorkloadRequest:
                 seed=self.sampling_seed,
             ),
             stop_on_special=self.stop_on_special,
+            slo_class=self.slo_class,
             request_id=request_id,
         )
 
@@ -160,6 +161,7 @@ class WorkloadRequest:
             "temperature": self.temperature,
             "seed": self.sampling_seed,
             "stop_on_special": self.stop_on_special,
+            "slo_class": self.slo_class,
         }
 
     def to_payload(self) -> dict:

@@ -229,17 +229,27 @@ class TestPreemptThrashGuard:
     """Regression tests for the near-finish victim guard."""
 
     @staticmethod
-    def make_state(prompt_len: int, budget: int = 4) -> SequenceState:
+    def make_state(
+        prompt_len: int, budget: int = 4, slo_class: str = "interactive"
+    ) -> SequenceState:
         request = GenerationRequest(
-            ["w"] * (prompt_len - 2), ["q"], max_new_tokens=budget
+            ["w"] * (prompt_len - 2), ["q"], max_new_tokens=budget,
+            slo_class=slo_class,
         )
         return SequenceState(request=request)
 
     @classmethod
     def running_state(
-        cls, scheduler, prompt_len: int, live: int, session=None
+        cls,
+        scheduler,
+        prompt_len: int,
+        live: int,
+        session=None,
+        slo_class: str = "interactive",
+        deadline: float | None = None,
     ) -> SequenceState:
-        state = cls.make_state(prompt_len)
+        state = cls.make_state(prompt_len, slo_class=slo_class)
+        state.deadline = deadline
         state.prepared = PreparedSequence(
             session=session,
             plan=None,
@@ -276,6 +286,57 @@ class TestPreemptThrashGuard:
         middle = self.running_state(scheduler, 10, live=20)
         assert scheduler.pop_preemption_victim() is middle
         assert old in scheduler.running and newest in scheduler.running
+
+    def test_deadline_preemption_spares_near_finish_victim(self):
+        """SLO-aware victim choice keeps the PR 2 guards intact.
+
+        With an :class:`SloPolicy`, victims are picked by *(lowest class
+        rank, most deadline slack)* — but a nearly-finished sequence is
+        still never rolled back, even when its class and slack make it the
+        policy's first choice, and the oldest running sequence remains
+        untouchable.
+        """
+        from repro.model.decode import DecodeSession
+        from repro.serving.adaptive import SloPolicy
+        import numpy as np
+
+        scheduler = ContinuousBatchingScheduler(
+            max_running=4, max_live_tokens=30, slo_policy=SloPolicy()
+        )
+        logits = np.zeros(8, dtype=np.float32)
+
+        def step(_token):
+            return logits
+
+        old = self.running_state(
+            scheduler, 10, live=20, slo_class="interactive", deadline=5.0
+        )
+        # Background with huge slack *and* one token from finishing: the
+        # policy's ideal victim on paper, protected by the guard in fact.
+        session = DecodeSession(step, logits, max_new_tokens=2)
+        session.advance()
+        assert session.remaining_budget == 1
+        background = self.running_state(
+            scheduler, 10, live=20, session=session,
+            slo_class="background", deadline=1000.0,
+        )
+        assert background.nearly_finished
+        tight = self.running_state(
+            scheduler, 10, live=20, slo_class="interactive", deadline=6.0
+        )
+        slack_batch = self.running_state(
+            scheduler, 10, live=20, slo_class="batch", deadline=500.0
+        )
+        assert scheduler.over_budget()
+
+        # Lowest class with the near-finish guard applied: the batch
+        # sequence with 500 units of slack goes first...
+        assert scheduler.pop_preemption_victim(now=0.0) is slack_batch
+        # ...then the tight interactive one (only preemptable state left)...
+        assert scheduler.pop_preemption_victim(now=0.0) is tight
+        # ...and never the oldest or the nearly-finished background.
+        assert scheduler.pop_preemption_victim(now=0.0) is None
+        assert old in scheduler.running and background in scheduler.running
 
     def test_no_thrash_loop_under_tight_budget(
         self, vocab, tokenizer, retrieval_model, tiny_samples
